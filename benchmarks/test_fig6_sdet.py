@@ -1,0 +1,48 @@
+"""Figure 6: Sdet scripts/hour vs script concurrency.
+
+Paper findings asserted here: Scheduler Flag outperforms Conventional by a
+few percent, Scheduler Chains adds a little more, No Order outperforms
+Conventional by 50-70%, and Soft Updates stays within a few percent of
+No Order.
+"""
+
+from repro.harness.report import format_series
+from repro.harness.runner import (
+    STANDARD_SCHEMES,
+    build_machine,
+    standard_scheme_config,
+)
+from repro.workloads.sdet import run_sdet
+
+from benchmarks.conftest import SCALE, emit
+
+CONCURRENCY = [1, 2, 4, 8]
+COMMANDS = max(20, int(120 * SCALE))
+
+
+def test_fig6_sdet(once):
+    def experiment():
+        series = {name: [] for name in STANDARD_SCHEMES}
+        for scripts in CONCURRENCY:
+            for name in STANDARD_SCHEMES:
+                machine = build_machine(standard_scheme_config(name))
+                result = run_sdet(machine, scripts,
+                                  commands_per_script=COMMANDS)
+                series[name].append(result.scripts_per_hour)
+        return series
+
+    series = once(experiment)
+    emit("fig6_sdet", format_series(
+        f"Figure 6: Sdet throughput (scripts/hour), {COMMANDS} commands "
+        f"per script (scale={SCALE})",
+        "Concurrent scripts", CONCURRENCY, series))
+
+    # compare at the highest concurrency, like the paper's spread
+    last = {name: values[-1] for name, values in series.items()}
+    assert last["Scheduler Flag"] >= last["Conventional"]
+    assert last["Scheduler Chains"] >= last["Scheduler Flag"] * 0.97
+    assert last["No Order"] > last["Conventional"] * 1.15
+    assert last["Soft Updates"] >= last["No Order"] * 0.9
+    # throughput is roughly sustained (or grows) with concurrency
+    for name, values in series.items():
+        assert values[-1] >= values[0] * 0.9

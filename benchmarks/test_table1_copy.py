@@ -1,0 +1,73 @@
+"""Table 1: scheme comparison, 4-user copy (with and without alloc-init).
+
+Paper findings asserted here:
+
+* No Order beats Conventional by ~20% elapsed and ~12% fewer disk requests;
+* Scheduler Flag / Chains shave only a few percent off Conventional;
+* Soft Updates lands within a few percent of No Order;
+* allocation initialization is expensive for Conventional (+87%) and the
+  scheduler schemes (+40-45%) but nearly free for Soft Updates (<~5%).
+"""
+
+from repro.harness.report import format_table
+from repro.harness.runner import (
+    STANDARD_SCHEMES,
+    run_copy,
+    standard_scheme_config,
+)
+from repro.workloads.trees import TreeSpec
+
+from benchmarks.conftest import SCALE, emit, scaled_cache
+
+
+def test_table1_copy(once):
+    tree = TreeSpec().scaled(SCALE)
+
+    def experiment():
+        results = {}
+        for name in STANDARD_SCHEMES:
+            inits = (False,) if name == "No Order" else (False, True)
+            for init in inits:
+                config = standard_scheme_config(name, alloc_init=init,
+                                                cache_bytes=scaled_cache())
+                results[(name, init)] = run_copy(config, users=4, tree=tree)
+        return results
+
+    results = once(experiment)
+    base = results[("No Order", False)].elapsed
+    rows = []
+    for (name, init), r in results.items():
+        rows.append([name, "Y" if init else "N", r.elapsed,
+                     100.0 * r.elapsed / base, r.cpu_time, r.disk_requests,
+                     r.io_response_avg * 1000])
+    emit("table1_copy", format_table(
+        f"Table 1: scheme comparison, 4-user copy "
+        f"(scale={SCALE}, simulated seconds)",
+        ["Ordering Scheme", "Alloc.Init", "Elapsed (s)", "% of No Order",
+         "CPU (s)", "Disk Requests", "I/O Resp Avg (ms)"], rows))
+
+    def elapsed(name, init=False):
+        return results[(name, init)].elapsed
+
+    def requests(name, init=False):
+        return results[(name, init)].disk_requests
+
+    # ordering of the schemes (no alloc-init)
+    assert elapsed("Conventional") > elapsed("Scheduler Flag") * 0.98
+    assert elapsed("Scheduler Flag") >= elapsed("Soft Updates")
+    assert elapsed("Scheduler Chains") >= elapsed("Soft Updates")
+    # soft updates within ~8% of the no-order bound
+    assert elapsed("Soft Updates") <= elapsed("No Order") * 1.08
+    # conventional pays a real penalty over the bound
+    assert elapsed("Conventional") >= elapsed("No Order") * 1.10
+    # delayed metadata writes need fewer disk requests
+    assert requests("Soft Updates") < requests("Conventional") * 0.95
+    # allocation initialization: expensive conventionally, ~free for soft
+    conv_penalty = elapsed("Conventional", True) / elapsed("Conventional")
+    soft_penalty = elapsed("Soft Updates", True) / elapsed("Soft Updates")
+    assert conv_penalty > 1.15
+    assert soft_penalty < 1.10
+    assert soft_penalty < conv_penalty
+    # with init, conventional/flag/chains write every block twice-ish
+    assert requests("Conventional", True) > requests("Conventional") * 1.2
+    assert requests("Soft Updates", True) < requests("Soft Updates") * 1.1

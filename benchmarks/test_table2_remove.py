@@ -1,0 +1,61 @@
+"""Table 2: scheme comparison, 4-user remove.
+
+Paper findings asserted here:
+
+* Conventional is several times slower than No Order (10.5x in the paper);
+* the scheduler schemes land in between, with enormous driver response
+  times (queues of dependent background writes);
+* Soft Updates is *faster than No Order* (deferred removal) and needs an
+  order of magnitude fewer disk requests than the scheduler schemes.
+"""
+
+from repro.harness.report import format_table
+from repro.harness.runner import (
+    STANDARD_SCHEMES,
+    run_remove,
+    standard_scheme_config,
+)
+from repro.workloads.trees import TreeSpec
+
+from benchmarks.conftest import SCALE, emit, scaled_cache
+
+
+def test_table2_remove(once):
+    tree = TreeSpec().scaled(SCALE)
+
+    def experiment():
+        results = {}
+        for name in STANDARD_SCHEMES:
+            config = standard_scheme_config(name,
+                                            cache_bytes=scaled_cache())
+            results[name] = run_remove(config, users=4, tree=tree)
+        return results
+
+    results = once(experiment)
+    base = results["No Order"].elapsed
+    rows = [[name, r.elapsed, 100.0 * r.elapsed / base, r.cpu_time,
+             r.disk_requests, r.io_response_avg * 1000]
+            for name, r in results.items()]
+    emit("table2_remove", format_table(
+        f"Table 2: scheme comparison, 4-user remove "
+        f"(scale={SCALE}, simulated seconds)",
+        ["Ordering Scheme", "Elapsed (s)", "% of No Order", "CPU (s)",
+         "Disk Requests", "I/O Resp Avg (ms)"], rows))
+
+    elapsed = {name: r.elapsed for name, r in results.items()}
+    requests = {name: r.disk_requests for name, r in results.items()}
+    response = {name: r.io_response_avg for name, r in results.items()}
+
+    # conventional pays a multiple of the no-order bound
+    assert elapsed["Conventional"] > 2.5 * elapsed["No Order"]
+    # scheduler schemes in between
+    assert elapsed["Conventional"] > elapsed["Scheduler Flag"]
+    assert elapsed["Conventional"] > elapsed["Scheduler Chains"]
+    assert elapsed["Scheduler Flag"] > elapsed["Soft Updates"]
+    # the paper's standout: soft updates beats even No Order (deferred work)
+    assert elapsed["Soft Updates"] <= elapsed["No Order"] * 1.02
+    # delayed metadata writes collapse the request count several-fold
+    assert requests["Scheduler Chains"] > 3 * requests["Soft Updates"]
+    assert requests["Conventional"] > 3 * requests["Soft Updates"]
+    # the scheduler schemes' queues of dependent writes inflate response
+    assert response["Scheduler Flag"] > 5 * response["Conventional"]

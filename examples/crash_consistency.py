@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Crash consistency demo: why ordering matters.
+
+Runs the same file-churn workload under No Order (delayed writes, no
+ordering) and Soft Updates, pulls the plug at the same simulated instant,
+and runs fsck on both surviving images.
+
+Run:  python examples/crash_consistency.py
+"""
+
+import random
+
+from repro.integrity import CrashScheduler, fsck
+from repro.machine import Machine, MachineConfig
+from repro.ordering import NoOrderScheme, SoftUpdatesScheme
+
+
+def churn(machine, seed=3, operations=60):
+    rng = random.Random(seed)
+
+    def body():
+        paths = []
+        for step in range(operations):
+            if rng.random() < 0.6 or not paths:
+                path = f"/file{step}"
+                yield from machine.fs.write_file(
+                    path, b"#" * rng.choice([500, 4000, 12000]))
+                paths.append(path)
+            else:
+                yield from machine.fs.unlink(
+                    paths.pop(rng.randrange(len(paths))))
+
+    return body()
+
+
+def crash_and_check(scheme, crash_at=4.0):
+    machine = Machine(MachineConfig(scheme=scheme))
+    machine.format()
+    image = CrashScheduler(machine).run_and_crash(churn(machine),
+                                                  crash_at=crash_at)
+    return fsck(image)
+
+
+def main() -> None:
+    for label, scheme in [("No Order", NoOrderScheme()),
+                          ("Soft Updates", SoftUpdatesScheme())]:
+        # sweep a few crash instants; No Order usually breaks on one of them
+        worst = None
+        for crash_at in (1.0, 2.0, 3.0, 4.0, 5.0):
+            report = crash_and_check(type(scheme)(), crash_at)
+            if worst is None or len(report.errors) > len(worst.errors):
+                worst = report
+        print(f"{label:13s}: {worst.summary()}")
+        for error in worst.errors[:4]:
+            print(f"               ERROR   {error}")
+        for warning in worst.warnings[:2]:
+            print(f"               warning {warning}")
+        print()
+
+    print("Soft updates keeps every crash state fsck-consistent;")
+    print("No Order leaves true integrity violations behind.")
+
+
+if __name__ == "__main__":
+    main()

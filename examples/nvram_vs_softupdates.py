@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Section 7's proposed comparison: soft updates vs NVRAM-backed metadata.
+
+Runs a burst of metadata-heavy work under both schemes, crashes at the same
+instant, and contrasts (a) performance, (b) what survived the crash.
+
+Run:  python examples/nvram_vs_softupdates.py
+"""
+
+from repro.costs import CostModel
+from repro.integrity import crash_image, fsck
+from repro.machine import Machine, MachineConfig
+from repro.ordering import NvramScheme, SoftUpdatesScheme
+
+
+def build(scheme):
+    machine = Machine(MachineConfig(scheme=scheme, costs=CostModel(),
+                                    cache_bytes=8 * 1024 * 1024))
+    machine.format()
+    return machine
+
+
+def burst(machine, files=40):
+    def body():
+        yield from machine.fs.mkdir("/work")
+        for index in range(files):
+            yield from machine.fs.write_file(f"/work/f{index}",
+                                             b"#" * 2048)
+    return body()
+
+
+def main() -> None:
+    for label, scheme in [("Soft Updates", SoftUpdatesScheme()),
+                          ("NVRAM", NvramScheme())]:
+        machine = build(scheme)
+        process = machine.spawn(burst(machine), name="burst")
+        machine.run(process)
+        elapsed = process.finished_at - process.started_at
+        # crash right as the burst finishes -- before any flushing
+        report = fsck(crash_image(machine))
+        visible = sum(1 for refs in report.references.values()
+                      for _d, name in refs if name.startswith("f"))
+        print(f"{label:13s}: burst took {elapsed:6.3f} simulated s, "
+              f"{machine.driver.requests_issued:3d} disk requests so far; "
+              f"after an instant crash {visible:2d}/40 files survive "
+              f"({len(report.errors)} integrity errors)")
+
+    print()
+    print("Both are crash-consistent; NVRAM additionally keeps the very")
+    print("latest metadata (at the price of battery-backed hardware), while")
+    print("soft updates trades a bounded window of recent work for running")
+    print("on any plain disk.")
+
+
+if __name__ == "__main__":
+    main()

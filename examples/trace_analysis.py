@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""I/O trace analysis: look at what the instrumented driver recorded.
+
+The paper's methodology (section 2) instruments the device driver to
+collect per-request queue and service delays.  The simulator keeps the same
+trace; this example mines it: per-kind counts, response-time percentiles,
+and a queue-depth timeline for a bursty removal under Scheduler Flag.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro.driver import FlagSemantics
+from repro.harness.runner import flag_variant, run_remove
+from repro.workloads.trees import TreeSpec
+
+
+def percentile(values, fraction):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def main() -> None:
+    config = flag_variant(FlagSemantics.PART, read_bypass=True,
+                          block_copy=True, cache_bytes=2 * 1024 * 1024)
+    tree = TreeSpec().scaled(0.08)
+    # keep the machine around: run_remove returns only the summary
+    from repro.harness.runner import build_machine
+    from repro.workloads.copybench import remove_tree_user
+    from repro.workloads.trees import build_tree
+
+    machine = build_machine(config)
+
+    def builder():
+        yield from machine.fs.mkdir("/u0")
+        yield from build_tree(machine.fs, "/u0/tree", tree)
+
+    machine.populate(builder(), cold_cache=True)
+    mark = machine.driver.last_issued_id
+    process = machine.spawn(remove_tree_user(machine, 0), name="user0")
+    machine.run(process)
+    machine.sync_and_settle()
+
+    trace = [r for r in machine.driver.trace if r.id > mark]
+    reads = [r for r in trace if not r.is_write]
+    writes = [r for r in trace if r.is_write]
+
+    print(f"requests: {len(trace)} ({len(reads)} reads, "
+          f"{len(writes)} writes)")
+    for label, subset in (("reads", reads), ("writes", writes)):
+        if not subset:
+            continue
+        response = [r.response_time * 1000 for r in subset]
+        queue = [r.queue_delay * 1000 for r in subset]
+        print(f"  {label:6s} response ms: p50={percentile(response, .5):8.1f}"
+              f"  p90={percentile(response, .9):8.1f}"
+              f"  max={max(response):8.1f}")
+        print(f"  {label:6s} queue    ms: p50={percentile(queue, .5):8.1f}"
+              f"  p90={percentile(queue, .9):8.1f}")
+
+    # a coarse queue-depth timeline: how the ordered-write queue builds up
+    events = sorted([(r.issue_time, 1) for r in trace]
+                    + [(r.complete_time, -1) for r in trace])
+    depth, peak, timeline = 0, 0, []
+    for when, delta in events:
+        depth += delta
+        peak = max(peak, depth)
+        timeline.append((when, depth))
+    print(f"peak driver queue depth: {peak}")
+    buckets = {}
+    for when, value in timeline:
+        buckets[round(when, 0)] = max(buckets.get(round(when, 0), 0), value)
+    for second in sorted(buckets):
+        bar = "#" * min(60, buckets[second])
+        print(f"  t={second:5.0f}s |{bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""The buffer: one cached run of disk fragments.
+
+Buffers are identified by their starting fragment address (``daddr``) and
+have a size that is a whole number of fragments -- matching FFS, where a
+cached "block" may be a full block or a fragment run.  A buffer is held
+exclusively (``busy``) while a process reads or modifies it, exactly like the
+B_BUSY discipline of the UNIX buffer cache; that lock is what makes
+section 3.3's write-lock stalls happen when a buffer is also the source of an
+in-flight disk write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.engine import Engine
+from repro.sim.primitives import WaitQueue
+
+
+class Buffer:
+    """A cached, byte-addressable image of ``size`` bytes at fragment ``daddr``.
+
+    Hook points used by the ordering schemes:
+
+    * ``pre_write(buf, image)`` -- called with a *copy* of the data just
+      before a disk write is issued; soft updates uses this to roll back
+      updates with unsatisfied dependencies so the written image is always
+      consistent with the on-disk state.
+    * ``post_write(buf)`` -- called at I/O completion, in driver (ISR)
+      context; must not block.  Soft updates processes completed
+      dependencies here and re-dirties the buffer if rollbacks remain.
+    """
+
+    __slots__ = ("daddr", "size", "data", "valid", "dirty", "busy", "marked",
+                 "write_outstanding", "hold_count", "waitq", "pre_write",
+                 "post_write", "dep_info", "dirtied_at", "last_release",
+                 "owner", "flush_deps")
+
+    def __init__(self, engine: Engine, daddr: int, size: int) -> None:
+        self.daddr = daddr
+        self.size = size
+        self.data = bytearray(size)
+        #: data reflects disk (or newer in-memory) contents
+        self.valid = False
+        #: in-memory contents newer than disk
+        self.dirty = False
+        #: exclusively held (B_BUSY) by a process or a non-CB write
+        self.busy = False
+        #: syncer two-pass sweep mark
+        self.marked = False
+        #: a disk write of this buffer is queued or in flight
+        self.write_outstanding = False
+        #: >0 pins the buffer in the cache (soft updates dependency anchors)
+        self.hold_count = 0
+        self.waitq = WaitQueue(engine)
+        self.pre_write: list[Callable[["Buffer", bytearray], None]] = []
+        self.post_write: list[Callable[["Buffer"], None]] = []
+        #: per-scheme attachment point (soft updates hangs its dep lists here)
+        self.dep_info: Any = None
+        #: request ids the *next* write of this buffer must depend on
+        #: (scheduler chains; attached and cleared by the cache at issue)
+        self.flush_deps: set[int] = set()
+        self.dirtied_at: float = -1.0
+        self.last_release: float = 0.0
+        #: debugging: name of the process holding the buffer
+        self.owner: str = ""
+
+    def mark_dirty(self, now: float) -> None:
+        """Mark newer-than-disk, stamping when the buffer first dirtied."""
+        if not self.dirty:
+            self.dirtied_at = now
+        self.dirty = True
+
+    def __repr__(self) -> str:
+        flags = "".join(flag for flag, on in [
+            ("V", self.valid), ("D", self.dirty), ("B", self.busy),
+            ("W", self.write_outstanding), ("H", self.hold_count > 0),
+        ] if on)
+        return f"<Buffer daddr={self.daddr} size={self.size} [{flags}]>"

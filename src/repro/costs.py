@@ -1,0 +1,63 @@
+"""CPU cost model for the simulated 33 MHz i486 (NCR 3433).
+
+Every file-system code path charges CPU through one of these knobs.  The
+defaults are calibrated so that the aggregate CPU-time columns of the paper's
+tables 1 and 2 and the CPU-bound saturation levels of figure 5 come out in
+the right range for a 1994-class processor; see EXPERIMENTS.md for the
+calibration notes.
+
+``scale`` multiplies everything: benchmarks use 1.0; image population uses
+0.0 (instantaneous setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Per-operation CPU costs in seconds (before ``scale``)."""
+
+    scale: float = 1.0
+
+    #: fixed entry/exit cost of any file system call
+    syscall: float = 80e-6
+    #: per path component resolved by namei (hashing, locking, inode fetch)
+    namei_component: float = 250e-6
+    #: per directory entry scanned during lookup / create collision check
+    dirent_scan: float = 2.2e-6
+    #: creating an inode + directory entry (beyond namei and I/O)
+    create: float = 0.014
+    #: removing a directory entry + releasing the inode (beyond namei and I/O)
+    remove: float = 0.003
+    #: per byte moved between user and kernel space (read/write payloads)
+    copy_per_byte: float = 0.25e-6
+    #: per byte of kernel block copy (the -CB enhancement of section 3.3)
+    block_copy_per_byte: float = 0.15e-6
+    #: block/fragment allocation bookkeeping (bitmap search etc.)
+    alloc: float = 300e-6
+    #: block/fragment free bookkeeping
+    free: float = 200e-6
+    #: buffer cache lookup/locking
+    getblk: float = 25e-6
+    #: stat(): inode copyout
+    stat: float = 200e-6
+    #: per directory entry returned by readdir
+    readdir_entry: float = 4e-6
+    #: allocating/manipulating one soft-updates dependency structure
+    softdep: float = 30e-6
+    #: per byte charged when the CPU prepares/initiates a disk request
+    io_setup: float = 120e-6
+
+    def time(self, name: str, multiplier: float = 1.0) -> float:
+        """Scaled cost of one occurrence of *name* (times *multiplier*)."""
+        return getattr(self, name) * multiplier * self.scale
+
+    def copy_bytes(self, nbytes: int) -> float:
+        """User<->kernel data copy cost."""
+        return self.copy_per_byte * nbytes * self.scale
+
+    def block_copy(self, nbytes: int) -> float:
+        """Kernel memcpy cost for the -CB write-lock-avoidance copy."""
+        return self.block_copy_per_byte * nbytes * self.scale

@@ -1,0 +1,73 @@
+"""On-board segmented read cache with sequential prefetch.
+
+The paper's drive "prefetches sequentially into its on-board cache".  We model
+a small number of LRU segments, each holding one contiguous LBN run.  A read
+that falls entirely inside a segment is a cache hit and transfers at bus
+speed.  After a media read the segment covers the read plus a prefetch run
+(the firmware keeps reading ahead; we credit the prefetch as complete, a mild
+optimism that only helps sequential reads, which all schemes enjoy equally).
+Writes invalidate overlapping cached ranges (write-through, no write cache,
+matching the paper's "writes complete at the media" reliability stance).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class PrefetchCache:
+    """Segmented LRU read cache keyed by contiguous LBN ranges."""
+
+    def __init__(self, segments: int = 2, prefetch_sectors: int = 64,
+                 total_sectors: int = 0) -> None:
+        if segments < 0:
+            raise ValueError("segment count must be non-negative")
+        self.segment_count = segments
+        self.prefetch_sectors = prefetch_sectors
+        self.total_sectors = total_sectors
+        # segment id -> (start, end) half-open LBN range; ordered LRU->MRU
+        self._segments: OrderedDict[int, tuple[int, int]] = OrderedDict()
+        self._next_id = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, lbn: int, nsectors: int) -> bool:
+        """True (and LRU-refresh) if ``[lbn, lbn+nsectors)`` is fully cached."""
+        for seg_id, (start, end) in self._segments.items():
+            if start <= lbn and lbn + nsectors <= end:
+                self._segments.move_to_end(seg_id)
+                self.hits += 1
+                return True
+        self.misses += 1
+        return False
+
+    def insert_after_read(self, lbn: int, nsectors: int) -> None:
+        """Record a media read: segment covers the read plus the prefetch run."""
+        if self.segment_count == 0:
+            return
+        end = lbn + nsectors + self.prefetch_sectors
+        if self.total_sectors:
+            end = min(end, self.total_sectors)
+        # extend an existing segment if this read continues it sequentially
+        for seg_id, (start, seg_end) in self._segments.items():
+            if start <= lbn <= seg_end:
+                self._segments[seg_id] = (start, max(seg_end, end))
+                self._segments.move_to_end(seg_id)
+                return
+        self._segments[self._next_id] = (lbn, end)
+        self._next_id += 1
+        while len(self._segments) > self.segment_count:
+            self._segments.popitem(last=False)
+
+    def invalidate(self, lbn: int, nsectors: int) -> None:
+        """Drop any segment overlapping a written range (write-through)."""
+        lo, hi = lbn, lbn + nsectors
+        doomed = [seg_id for seg_id, (start, end) in self._segments.items()
+                  if start < hi and lo < end]
+        for seg_id in doomed:
+            del self._segments[seg_id]
+
+    @property
+    def segments(self) -> list[tuple[int, int]]:
+        """Current cached ranges, LRU first (for tests/inspection)."""
+        return list(self._segments.values())

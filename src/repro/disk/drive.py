@@ -1,0 +1,163 @@
+"""The drive: one-request-at-a-time mechanical service.
+
+Command queueing at the disk is deliberately *not* modelled ("Command
+queueing at the disk is not utilized", section 2): the device driver owns all
+scheduling and hands the drive one (possibly concatenated) request at a time.
+
+:meth:`Disk.service` is a simulated-process subroutine: the device driver
+calls it with ``yield from`` and regains control when the media operation is
+done.  Writes become persistent in the :class:`SectorStore` at transfer
+completion; a crash mid-transfer applies the sector prefix that had already
+passed under the head (see ``in_flight`` and ``repro.integrity.crash``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.sim.engine import Engine
+from repro.disk.cache import PrefetchCache
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import DiskParameters
+from repro.disk.storage import SectorStore
+
+
+@dataclass
+class InFlightWrite:
+    """Descriptor of the write currently being transferred to media."""
+
+    lbn: int
+    data: bytes
+    transfer_start: float
+    sector_period: float
+
+    def sectors_applied_by(self, when: float, sector_size: int) -> int:
+        """How many sectors had fully reached the media by time *when*."""
+        if when <= self.transfer_start:
+            return 0
+        elapsed = when - self.transfer_start
+        return min(int(elapsed / self.sector_period), len(self.data) // sector_size)
+
+
+@dataclass
+class DiskStats:
+    """Aggregate drive-side instrumentation."""
+
+    reads: int = 0
+    writes: int = 0
+    cache_hit_reads: int = 0
+    sectors_read: int = 0
+    sectors_written: int = 0
+    busy_time: float = 0.0
+    seek_time: float = 0.0
+    rotation_time: float = 0.0
+    transfer_time: float = 0.0
+    service_times: list = field(default_factory=list)
+
+
+class Disk:
+    """An HP C2447-class drive attached to the simulation engine."""
+
+    def __init__(self, engine: Engine,
+                 geometry: Optional[DiskGeometry] = None,
+                 params: Optional[DiskParameters] = None,
+                 cache_segments: int = 2,
+                 prefetch_sectors: int = 64) -> None:
+        self.engine = engine
+        self.geometry = geometry or DiskGeometry()
+        self.params = params or DiskParameters()
+        self.storage = SectorStore(self.geometry)
+        self.cache = PrefetchCache(cache_segments, prefetch_sectors,
+                                   self.geometry.total_sectors)
+        self.stats = DiskStats()
+        self._current_cylinder = 0
+        #: set to True to make service() free (image population, not benchmarks)
+        self.instant = False
+        #: populated while a write transfer is on the media (crash injection)
+        self.in_flight: Optional[InFlightWrite] = None
+
+    # ------------------------------------------------------------------
+    def service(self, lbn: int, nsectors: int, is_write: bool,
+                data: Optional[bytes] = None) -> Generator:
+        """Perform one media operation; returns the service time in seconds.
+
+        For writes, *data* must be ``nsectors * sector_size`` bytes and is
+        applied to the sector store at transfer completion.
+        """
+        if is_write:
+            if data is None:
+                raise ValueError("write without data")
+            if len(data) != nsectors * self.geometry.sector_size:
+                raise ValueError(
+                    f"write data is {len(data)} bytes; expected "
+                    f"{nsectors * self.geometry.sector_size}")
+        if self.instant:
+            self._finish(lbn, nsectors, is_write, data)
+            return 0.0
+        start = self.engine.now
+        if is_write:
+            self.stats.writes += 1
+            self.stats.sectors_written += nsectors
+        else:
+            self.stats.reads += 1
+            self.stats.sectors_read += nsectors
+
+        if not is_write and self.cache.lookup(lbn, nsectors):
+            # on-board cache hit: controller overhead + bus transfer only
+            self.stats.cache_hit_reads += 1
+            service = (self.params.controller_overhead
+                       + self.params.bus_time(self.geometry, nsectors))
+            yield self.engine.timeout(service)
+            self._account(start, 0.0, 0.0, 0.0)
+            return self.engine.now - start
+
+        cylinder, _head, sector = self.geometry.decompose(lbn)
+        seek = self.params.seek_time(self._current_cylinder, cylinder)
+        arrival = start + self.params.controller_overhead + seek
+        rotation = self.params.rotational_delay(self.geometry, arrival, sector)
+        transfer = self.params.transfer_time(self.geometry, nsectors)
+
+        if is_write:
+            yield self.engine.timeout(
+                self.params.controller_overhead + seek + rotation)
+            self.in_flight = InFlightWrite(
+                lbn=lbn, data=data, transfer_start=self.engine.now,
+                sector_period=self.params.sector_period(self.geometry))
+            yield self.engine.timeout(transfer)
+            self.in_flight = None
+        else:
+            yield self.engine.timeout(
+                self.params.controller_overhead + seek + rotation + transfer)
+
+        self._finish(lbn, nsectors, is_write, data)
+        self._current_cylinder = self.geometry.cylinder_of(lbn + nsectors - 1)
+        self._account(start, seek, rotation, transfer)
+        return self.engine.now - start
+
+    # ------------------------------------------------------------------
+    def _finish(self, lbn: int, nsectors: int, is_write: bool,
+                data: Optional[bytes]) -> None:
+        if is_write:
+            self.storage.write(lbn, data)
+            self.cache.invalidate(lbn, nsectors)
+        else:
+            self.cache.insert_after_read(lbn, nsectors)
+
+    def _account(self, start: float, seek: float, rotation: float,
+                 transfer: float) -> None:
+        service = self.engine.now - start
+        self.stats.busy_time += service
+        self.stats.seek_time += seek
+        self.stats.rotation_time += rotation
+        self.stats.transfer_time += transfer
+        self.stats.service_times.append(service)
+
+    def read_now(self, lbn: int, nsectors: int) -> bytes:
+        """Zero-time read of persistent bytes (setup/inspection paths only)."""
+        return self.storage.read(lbn, nsectors)
+
+    def write_now(self, lbn: int, data: bytes) -> None:
+        """Zero-time persistent write (setup/inspection paths only)."""
+        self.storage.write(lbn, data)
+        self.cache.invalidate(lbn, len(data) // self.geometry.sector_size)

@@ -1,0 +1,68 @@
+"""The persistent sector store: what the platters hold.
+
+This is the ground truth that survives a simulated crash.  It is a sparse
+map from sector number to ``bytes``; unwritten sectors read back as zeros.
+Crash-consistency checking (``repro.integrity``) operates directly on a
+snapshot of this store.
+"""
+
+from __future__ import annotations
+
+from repro.disk.geometry import DiskGeometry
+
+
+class SectorStore:
+    """Sparse persistent storage addressed by sector (LBN)."""
+
+    def __init__(self, geometry: DiskGeometry) -> None:
+        self.geometry = geometry
+        self._sectors: dict[int, bytes] = {}
+        self._zero = bytes(geometry.sector_size)
+        #: total sectors ever written (instrumentation)
+        self.sectors_written = 0
+
+    def read(self, lbn: int, nsectors: int = 1) -> bytes:
+        """Read *nsectors* starting at *lbn*; holes read as zeros."""
+        self._check_range(lbn, nsectors)
+        return b"".join(self._sectors.get(lbn + i, self._zero)
+                        for i in range(nsectors))
+
+    def write(self, lbn: int, data: bytes) -> None:
+        """Write *data* (a whole number of sectors) starting at *lbn*."""
+        size = self.geometry.sector_size
+        if len(data) % size != 0:
+            raise ValueError(
+                f"write of {len(data)} bytes is not sector-aligned ({size})")
+        nsectors = len(data) // size
+        self._check_range(lbn, nsectors)
+        for i in range(nsectors):
+            self._sectors[lbn + i] = bytes(data[i * size:(i + 1) * size])
+        self.sectors_written += nsectors
+
+    def write_partial(self, lbn: int, data: bytes, nsectors_applied: int) -> None:
+        """Apply only the first *nsectors_applied* sectors of a write.
+
+        Used by crash injection to model a request interrupted mid-transfer:
+        sectors are laid down in LBN order, so a crash leaves a prefix.
+        """
+        size = self.geometry.sector_size
+        prefix = data[:nsectors_applied * size]
+        if prefix:
+            self.write(lbn, prefix)
+
+    def snapshot(self) -> "SectorStore":
+        """An independent copy (the 'surviving image' for fsck)."""
+        clone = SectorStore(self.geometry)
+        clone._sectors = dict(self._sectors)
+        return clone
+
+    def __len__(self) -> int:
+        """Number of distinct sectors ever written."""
+        return len(self._sectors)
+
+    def _check_range(self, lbn: int, nsectors: int) -> None:
+        if nsectors <= 0:
+            raise ValueError(f"sector count must be positive, got {nsectors}")
+        if lbn < 0 or lbn + nsectors > self.geometry.total_sectors:
+            raise ValueError(
+                f"sector range [{lbn}, {lbn + nsectors}) outside disk")

@@ -1,0 +1,33 @@
+"""Device driver: request queueing, scheduling, and ordering enforcement.
+
+This package implements the paper's section 3 machinery:
+
+* :class:`DiskRequest` -- a request tagged with an ordering flag (section
+  3.1) and/or an explicit dependency list (section 3.2, scheduler chains).
+* Ordering policies -- the four flag semantics (``Full``, ``Back``, ``Part``,
+  ``Ignore``), each with the optional ``-NR`` read-bypass, plus the chains
+  policy.
+* :class:`DeviceDriver` -- a C-LOOK elevator that dispatches one (possibly
+  concatenated) request at a time to the drive, honouring whatever the
+  ordering policy permits, and collecting per-request traces (issue /
+  dispatch / completion times) like the paper's instrumented driver.
+"""
+
+from repro.driver.request import DiskRequest, IOKind
+from repro.driver.ordering import (
+    ChainsPolicy,
+    FlagPolicy,
+    FlagSemantics,
+    OrderingPolicy,
+)
+from repro.driver.driver import DeviceDriver
+
+__all__ = [
+    "ChainsPolicy",
+    "DeviceDriver",
+    "DiskRequest",
+    "FlagPolicy",
+    "FlagSemantics",
+    "IOKind",
+    "OrderingPolicy",
+]

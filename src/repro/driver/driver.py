@@ -1,0 +1,229 @@
+"""The device driver: queue, C-LOOK elevator, concatenation, tracing.
+
+Matches the paper's base system (section 2): "The scheduling code in the
+device driver concatenates sequential requests" and no command queueing at
+the disk -- the driver dispatches one (possibly concatenated) operation at a
+time and schedules the rest while the drive works.
+
+Every completed request is appended to ``trace`` with issue/dispatch/complete
+timestamps, mirroring the paper's instrumented driver (their 4 MB trace
+buffer); ``repro.harness.metrics`` summarises the trace into the statistics
+the tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Engine
+from repro.sim.primitives import WaitQueue
+from repro.disk.drive import Disk
+from repro.driver.ordering import OrderingPolicy
+from repro.driver.request import DiskRequest, IOKind
+
+
+class DeviceDriver:
+    """Queues requests, enforces ordering policy, drives the disk."""
+
+    def __init__(self, engine: Engine, disk: Disk, policy: OrderingPolicy,
+                 max_batch_sectors: int = 128) -> None:
+        self.engine = engine
+        self.disk = disk
+        self.policy = policy
+        self.max_batch_sectors = max_batch_sectors
+        # issue-ordered (dicts preserve insertion order); keyed by id so
+        # dispatch removal is O(1) even with thousands queued
+        self._pending: dict[int, DiskRequest] = {}
+        self._work = WaitQueue(engine)
+        self._next_id = 0
+        self._head_lbn = 0
+        # Overlapping writes must reach the media in issue order no matter
+        # what the ordering policy allows (a driver invariant: with the -CB
+        # block-copy enhancement or freed-block reuse, two in-queue writes
+        # can cover the same sectors, and dispatching the younger one first
+        # would let stale bytes land last).  sector -> ids in issue order.
+        self._write_fifo: dict[int, list[int]] = {}
+        #: completed requests, in completion order
+        self.trace: list[DiskRequest] = []
+        self.requests_issued = 0
+        self._process = engine.process(self._run(), name="disk-driver")
+
+    # -- public API -------------------------------------------------------
+    def issue(self, kind: IOKind, lbn: int, nsectors: int,
+              data: Optional[bytes] = None, flag: bool = False,
+              depends_on: Optional[frozenset[int]] = None,
+              issuer: str = "") -> DiskRequest:
+        """Create and enqueue a request; returns it immediately.
+
+        The caller decides whether to wait: ``yield request.done`` makes the
+        write synchronous from the issuing process's point of view.
+        """
+        self._next_id += 1
+        request = DiskRequest(self.engine, self._next_id, kind, lbn, nsectors,
+                              data=data, flag=flag, depends_on=depends_on,
+                              issuer=issuer)
+        request.issue_time = self.engine.now
+        if request.is_write:
+            for sector in range(request.lbn, request.end_lbn):
+                self._write_fifo.setdefault(sector, []).append(request.id)
+        self.policy.on_issue(request)
+        self._pending[request.id] = request
+        self.requests_issued += 1
+        # broadcast, not signal: both the dispatch loop and any drain()
+        # waiters sleep on the same queue and must all re-check
+        self._work.broadcast()
+        return request
+
+    def read(self, lbn: int, nsectors: int, issuer: str = "") -> DiskRequest:
+        """Issue a read request (convenience wrapper over :meth:`issue`)."""
+        return self.issue(IOKind.READ, lbn, nsectors, issuer=issuer)
+
+    def write(self, lbn: int, data: bytes, flag: bool = False,
+              depends_on: Optional[frozenset[int]] = None,
+              issuer: str = "") -> DiskRequest:
+        """Issue a write request (convenience wrapper over :meth:`issue`)."""
+        nsectors = len(data) // self.disk.geometry.sector_size
+        return self.issue(IOKind.WRITE, lbn, nsectors, data=data, flag=flag,
+                          depends_on=depends_on, issuer=issuer)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the driver queue (excludes the one in flight)."""
+        return len(self._pending)
+
+    @property
+    def last_issued_id(self) -> int:
+        """Id of the most recently issued request (0 if none yet)."""
+        return self._next_id
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued and nothing is at the drive."""
+        return not self._pending and not self._in_flight
+
+    def drain(self):
+        """Subroutine: wait until the driver queue is empty and disk idle.
+
+        Usable from simulated processes: ``yield from driver.drain()``.
+        """
+        while self._pending or self._in_flight:
+            yield self._idle_check_event()
+
+    def _idle_check_event(self):
+        # piggyback on completion signals: wake on next completion
+        return self._work.wait()
+
+    # -- the dispatch loop -------------------------------------------------
+    _in_flight: bool = False
+
+    def _run(self):
+        while True:
+            batch = self._select_batch()
+            if batch is None:
+                yield self._work.wait()
+                continue
+            now = self.engine.now
+            for request in batch:
+                request.dispatch_time = now
+                del self._pending[request.id]
+            self._in_flight = True
+            first = batch[0]
+            total_sectors = sum(r.nsectors for r in batch)
+            if first.is_write:
+                data = b"".join(r.data for r in batch)
+                yield from self.disk.service(first.lbn, total_sectors, True, data)
+            else:
+                yield from self.disk.service(first.lbn, total_sectors, False)
+            self._in_flight = False
+            self._head_lbn = first.lbn + total_sectors
+            done_at = self.engine.now
+            for request in batch:
+                request.complete_time = done_at
+                # the payload is on the platters now; keeping it would make
+                # the trace hold the whole workload's bytes (paper-scale
+                # runs move hundreds of MB)
+                request.data = None
+                if request.is_write:
+                    for sector in range(request.lbn, request.end_lbn):
+                        ids = self._write_fifo[sector]
+                        ids.remove(request.id)
+                        if not ids:
+                            del self._write_fifo[sector]
+                self.policy.on_complete(request)
+                self.trace.append(request)
+            # completion callbacks run after *all* policy bookkeeping so a
+            # callback that issues new I/O sees a consistent policy state
+            for request in batch:
+                for callback in request.on_complete:
+                    callback(request)
+                # release the callbacks too: their closures reference cache
+                # buffers, and the trace keeps requests for the whole run
+                request.on_complete = []
+                request.done.succeed(request)
+            # wake anyone waiting for queue drain / eligibility changes
+            self._work.broadcast()
+
+    # -- selection ----------------------------------------------------------
+    def _select_batch(self) -> Optional[list[DiskRequest]]:
+        """Pick the next dispatch: C-LOOK among eligible, then concatenate."""
+        eligible = []
+        writes_blocked = False
+        monotone = getattr(self.policy, "monotone_writes", False)
+        for request in self._pending.values():  # issue order
+            if request.is_write:
+                if writes_blocked:
+                    continue
+                if not self._write_fifo_ok(request):
+                    continue  # the same-sector FIFO holds only this request
+                if self.policy.may_dispatch(request):
+                    eligible.append(request)
+                elif monotone:
+                    # under flag semantics write eligibility is monotone in
+                    # issue order: once one write is held by the policy, all
+                    # later writes are too -- stop scanning them (held-back
+                    # queues reach thousands of requests)
+                    writes_blocked = True
+            else:
+                if self._write_fifo_ok(request) \
+                        and self.policy.may_dispatch(request):
+                    eligible.append(request)
+        if not eligible:
+            return None
+        ahead = [r for r in eligible if r.lbn >= self._head_lbn]
+        pool = ahead or eligible
+        chosen = min(pool, key=lambda r: (r.lbn, r.id))
+        return self._concatenate(chosen, eligible)
+
+    def _write_fifo_ok(self, request: DiskRequest) -> bool:
+        """True unless an older incomplete write overlaps this write."""
+        if not request.is_write:
+            return True
+        return all(self._write_fifo[sector][0] == request.id
+                   for sector in range(request.lbn, request.end_lbn))
+
+    def _concatenate(self, chosen: DiskRequest,
+                     eligible: list[DiskRequest]) -> list[DiskRequest]:
+        """Merge LBN-contiguous, same-direction eligible requests."""
+        same_kind = {}
+        for request in eligible:
+            if request.kind is chosen.kind and request is not chosen:
+                # first-issued wins if two requests target the same LBN
+                same_kind.setdefault(request.lbn, request)
+        batch = [chosen]
+        total = chosen.nsectors
+        # extend forward
+        cursor = chosen.end_lbn
+        while total < self.max_batch_sectors and cursor in same_kind:
+            nxt = same_kind.pop(cursor)
+            batch.append(nxt)
+            total += nxt.nsectors
+            cursor = nxt.end_lbn
+        # extend backward
+        by_end = {r.end_lbn: r for r in same_kind.values()}
+        cursor = batch[0].lbn
+        while total < self.max_batch_sectors and cursor in by_end:
+            prev = by_end.pop(cursor)
+            batch.insert(0, prev)
+            total += prev.nsectors
+            cursor = prev.lbn
+        return batch

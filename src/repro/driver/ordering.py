@@ -1,0 +1,200 @@
+"""Ordering policies: flag semantics (section 3.1) and chains (section 3.2).
+
+A policy answers one question for the elevator: *may this pending request be
+dispatched right now?*  All policies see every issue and completion so they
+can maintain whatever bookkeeping their semantics need.
+
+Flag semantics compared by the paper (figure 1):
+
+* ``FULL`` -- a flagged request is a full barrier: it waits for everything
+  issued before it, and nothing issued after it may pass it.
+* ``BACK`` -- requests issued after a flagged request may not be scheduled
+  before it *or anything issued before it*; the flagged request itself
+  reorders freely with earlier non-flagged requests.
+* ``PART`` -- requests issued after a flagged request may not be scheduled
+  before *it*; everything else reorders freely.
+* ``IGNORE`` -- the flag is ignored (no metadata protection; baseline).
+
+``-NR`` (any semantics): non-conflicting reads bypass writes that are waiting
+because of ordering restrictions.  A read conflicts if it overlaps an
+incomplete earlier write.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+
+from repro.driver.request import DiskRequest, IOKind
+
+
+class FlagSemantics(enum.Enum):
+    """The meaning of the one-bit ordering flag."""
+
+    FULL = "Full"
+    BACK = "Back"
+    PART = "Part"
+    IGNORE = "Ignore"
+
+
+class OrderingPolicy:
+    """Interface the driver consults before dispatching."""
+
+    name = "base"
+
+    def on_issue(self, request: DiskRequest) -> None:
+        """A request entered the driver queue."""
+
+    def on_complete(self, request: DiskRequest) -> None:
+        """A request finished at the drive."""
+
+    def may_dispatch(self, request: DiskRequest) -> bool:
+        """May *request* be sent to the drive now?"""
+        raise NotImplementedError
+
+
+class _ConflictTracker:
+    """Tracks sectors covered by incomplete writes, for -NR conflict checks."""
+
+    def __init__(self) -> None:
+        self._cover: dict[int, int] = {}
+
+    def add(self, request: DiskRequest) -> None:
+        for sector in range(request.lbn, request.end_lbn):
+            self._cover[sector] = self._cover.get(sector, 0) + 1
+
+    def remove(self, request: DiskRequest) -> None:
+        for sector in range(request.lbn, request.end_lbn):
+            remaining = self._cover[sector] - 1
+            if remaining:
+                self._cover[sector] = remaining
+            else:
+                del self._cover[sector]
+
+    def read_conflicts(self, request: DiskRequest) -> bool:
+        return any(sector in self._cover
+                   for sector in range(request.lbn, request.end_lbn))
+
+
+class FlagPolicy(OrderingPolicy):
+    """Scheduler-enforced ordering via the one-bit flag."""
+
+    #: write eligibility is monotone in issue order for every flag meaning
+    #: (a write is blocked exactly when some older flagged/incomplete work
+    #: remains, a condition that only grows with the issue id) -- the driver
+    #: uses this to stop scanning held-back queues early
+    monotone_writes = True
+
+    def __init__(self, semantics: FlagSemantics,
+                 read_bypass: bool = False) -> None:
+        self.semantics = semantics
+        self.read_bypass = read_bypass
+        self.name = semantics.value + ("-NR" if read_bypass else "")
+        # ids of incomplete requests (issued, not yet completed)
+        self._incomplete: set[int] = set()
+        self._min_incomplete_heap: list[int] = []
+        # ids of incomplete *flagged* requests
+        self._flagged_incomplete: set[int] = set()
+        self._min_flagged_heap: list[int] = []
+        # BACK: flagged ids not yet retired (retired once everything issued
+        # at-or-before them has completed); kept in issue order
+        self._barriers: deque[int] = deque()
+        self._writes = _ConflictTracker()
+
+    # -- bookkeeping ------------------------------------------------------
+    def on_issue(self, request: DiskRequest) -> None:
+        self._incomplete.add(request.id)
+        heapq.heappush(self._min_incomplete_heap, request.id)
+        if request.flag:
+            self._flagged_incomplete.add(request.id)
+            heapq.heappush(self._min_flagged_heap, request.id)
+            self._barriers.append(request.id)
+        if request.is_write:
+            self._writes.add(request)
+
+    def on_complete(self, request: DiskRequest) -> None:
+        self._incomplete.discard(request.id)
+        self._flagged_incomplete.discard(request.id)
+        if request.is_write:
+            self._writes.remove(request)
+        self._retire_barriers()
+
+    def _min_incomplete(self) -> int | None:
+        heap = self._min_incomplete_heap
+        while heap and heap[0] not in self._incomplete:
+            heapq.heappop(heap)
+        return heap[0] if heap else None
+
+    def _min_flagged_incomplete(self) -> int | None:
+        heap = self._min_flagged_heap
+        while heap and heap[0] not in self._flagged_incomplete:
+            heapq.heappop(heap)
+        return heap[0] if heap else None
+
+    def _retire_barriers(self) -> None:
+        floor = self._min_incomplete()
+        while self._barriers and (floor is None or self._barriers[0] < floor):
+            self._barriers.popleft()
+
+    # -- the decision -------------------------------------------------------
+    def may_dispatch(self, request: DiskRequest) -> bool:
+        if self.semantics is FlagSemantics.IGNORE:
+            return True
+        if request.kind is IOKind.READ and self.read_bypass:
+            return not self._writes.read_conflicts(request)
+
+        if self.semantics is FlagSemantics.PART:
+            floor = self._min_flagged_incomplete()
+            return floor is None or request.id <= floor
+
+        if self.semantics is FlagSemantics.BACK:
+            self._retire_barriers()
+            return not self._barriers or request.id <= self._barriers[0]
+
+        # FULL: may not pass any earlier incomplete flagged request; and a
+        # flagged request waits for *everything* issued before it.
+        floor = self._min_flagged_incomplete()
+        if floor is not None and request.id > floor:
+            return False
+        if request.flag:
+            oldest = self._min_incomplete()
+            if oldest is not None and oldest < request.id:
+                return False
+        return True
+
+
+class ChainsPolicy(OrderingPolicy):
+    """Scheduler chains: per-request dependency lists.
+
+    A request is dispatchable once every request it names has completed.
+    Reads carry no dependencies, so they bypass ordering queues naturally
+    (the paper notes ``-NR`` "holds no meaning with scheduler chains"),
+    subject only to the data-conflict check.
+    """
+
+    name = "Chains"
+
+    def __init__(self) -> None:
+        self._incomplete: set[int] = set()
+        self._writes = _ConflictTracker()
+
+    def on_issue(self, request: DiskRequest) -> None:
+        bad = [dep for dep in request.depends_on if dep >= request.id]
+        if bad:
+            raise ValueError(
+                f"request #{request.id} depends on not-yet-issued ids {bad}; "
+                f"chains may only reference previously issued requests")
+        self._incomplete.add(request.id)
+        if request.is_write:
+            self._writes.add(request)
+
+    def on_complete(self, request: DiskRequest) -> None:
+        self._incomplete.discard(request.id)
+        if request.is_write:
+            self._writes.remove(request)
+
+    def may_dispatch(self, request: DiskRequest) -> bool:
+        if request.kind is IOKind.READ:
+            return not self._writes.read_conflicts(request)
+        return all(dep not in self._incomplete for dep in request.depends_on)

@@ -1,0 +1,22 @@
+"""An FFS-like file system with a real on-disk byte layout.
+
+This is the ``ufs`` of the paper's testbed, rebuilt: superblock, cylinder
+groups with inode and fragment bitmaps, 128-byte on-disk inodes with
+12 direct + single + double indirect pointers, FFS-style variable-length
+directory entries packed into 512-byte chunks, and block/fragment allocation
+(small files end in fragment runs, extended by copy when they outgrow them).
+
+Every metadata structure lives in real bytes on the simulated disk, which is
+what lets ``repro.integrity.fsck`` audit crash states, and every structural
+change is routed through an ordering scheme (``repro.ordering``) exactly at
+the paper's four update points: block allocation, block deallocation, link
+addition, link removal.
+"""
+
+from repro.fs.layout import FSGeometry, Dinode, FileType
+from repro.fs.superblock import Superblock
+from repro.fs.mkfs import mkfs
+from repro.fs.vfs import FileSystem, FsError, OpenFile
+
+__all__ = ["Dinode", "FSGeometry", "FileSystem", "FileType", "FsError",
+           "OpenFile", "Superblock", "mkfs"]

@@ -1,0 +1,189 @@
+"""FFS-style directory blocks.
+
+Entries are variable length -- ``(ino u32, reclen u16, namelen u8, type u8,
+name …pad4)`` -- packed into ``DIRBLKSIZ`` (512-byte) chunks that entries
+never cross, so a single sector write updates a directory chunk atomically
+(the property footnote 1 of the paper relies on).  An entry is deleted either
+by zeroing its inode number (if first in its chunk) or by folding its record
+length into its predecessor.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.fs.layout import FileType
+
+DIRBLKSIZ = 512
+_ENTRY_HDR = "<IHBB"
+_ENTRY_HDR_SIZE = 8
+MAX_NAME = 255
+
+
+def entry_bytes(namelen: int) -> int:
+    """Space one entry needs: header + name padded to 4 bytes."""
+    return _ENTRY_HDR_SIZE + ((namelen + 3) & ~3)
+
+
+@dataclass
+class DirEntry:
+    """A decoded directory entry at ``offset`` within its buffer."""
+
+    offset: int
+    ino: int
+    reclen: int
+    name: str
+    ftype: FileType
+
+    @property
+    def live(self) -> bool:
+        return self.ino != 0
+
+
+def format_chunk(entries: list[tuple[int, str, FileType]]) -> bytes:
+    """Build one DIRBLKSIZ chunk holding *entries*, last entry padded out."""
+    out = bytearray()
+    for position, (ino, name, ftype) in enumerate(entries):
+        name_raw = name.encode()
+        need = entry_bytes(len(name_raw))
+        if position == len(entries) - 1:
+            reclen = DIRBLKSIZ - len(out)
+        else:
+            reclen = need
+        if reclen < need or len(out) + reclen > DIRBLKSIZ:
+            raise ValueError("entries do not fit in one chunk")
+        out += struct.pack(_ENTRY_HDR, ino, reclen, len(name_raw),
+                           int(ftype) >> 12)
+        out += name_raw
+        out += bytes(reclen - _ENTRY_HDR_SIZE - len(name_raw))
+    out += bytes(DIRBLKSIZ - len(out))
+    return bytes(out)
+
+
+def empty_chunk() -> bytes:
+    """A chunk holding a single empty entry spanning the whole chunk."""
+    return format_chunk([(0, "", FileType.NONE)])
+
+
+def new_dir_contents(self_ino: int, parent_ino: int) -> bytes:
+    """The first chunk of a fresh directory: '.' and '..'."""
+    return format_chunk([(self_ino, ".", FileType.DIRECTORY),
+                         (parent_ino, "..", FileType.DIRECTORY)])
+
+
+def iter_entries(data: bytes | bytearray,
+                 base_offset: int = 0) -> Iterator[DirEntry]:
+    """Decode every entry record (live or free) in *data*.
+
+    *data* must be a whole number of chunks; *base_offset* shifts reported
+    offsets (useful when data is one frag of a larger directory).
+    """
+    if len(data) % DIRBLKSIZ != 0:
+        raise ValueError("directory data is not chunk-aligned")
+    for chunk_at in range(0, len(data), DIRBLKSIZ):
+        offset = chunk_at
+        while offset < chunk_at + DIRBLKSIZ:
+            ino, reclen, namelen, ftype = struct.unpack_from(
+                _ENTRY_HDR, data, offset)
+            if reclen < _ENTRY_HDR_SIZE or offset + reclen > chunk_at + DIRBLKSIZ:
+                raise CorruptDirectory(
+                    f"bad reclen {reclen} at offset {base_offset + offset}")
+            name = bytes(data[offset + _ENTRY_HDR_SIZE:
+                              offset + _ENTRY_HDR_SIZE + namelen]).decode(
+                                  errors="replace")
+            yield DirEntry(base_offset + offset, ino, reclen, name,
+                           FileType(ftype << 12) if ino else FileType.NONE)
+            offset += reclen
+
+
+def lookup(data: bytes | bytearray, name: str,
+           base_offset: int = 0) -> tuple[Optional[DirEntry], int]:
+    """Find *name*; returns (entry or None, records scanned) for CPU costing."""
+    scanned = 0
+    for entry in iter_entries(data, base_offset):
+        scanned += 1
+        if entry.live and entry.name == name:
+            return entry, scanned
+    return None, scanned
+
+
+def add_entry(data: bytearray, name: str, ino: int,
+              ftype: FileType) -> Optional[int]:
+    """Insert an entry into free space; returns its offset or None if full."""
+    name_raw = name.encode()
+    if not 0 < len(name_raw) <= MAX_NAME:
+        raise ValueError(f"bad name length {len(name_raw)}")
+    need = entry_bytes(len(name_raw))
+    for entry in iter_entries(data):
+        if not entry.live:
+            slack = entry.reclen
+            used_here = 0
+        else:
+            used_here = entry_bytes(len(entry.name.encode()))
+            slack = entry.reclen - used_here
+        if slack < need:
+            continue
+        if entry.live:
+            # shrink the existing entry, append the new one in its slack
+            struct.pack_into("<H", data, entry.offset + 4, used_here)
+            offset = entry.offset + used_here
+            reclen = slack
+        else:
+            offset = entry.offset
+            reclen = entry.reclen
+        struct.pack_into(_ENTRY_HDR, data, offset, ino, reclen,
+                         len(name_raw), int(ftype) >> 12)
+        data[offset + _ENTRY_HDR_SIZE:
+             offset + _ENTRY_HDR_SIZE + len(name_raw)] = name_raw
+        return offset
+    return None
+
+
+def remove_entry(data: bytearray, offset: int) -> int:
+    """Delete the entry at *offset*; returns the inode number it held.
+
+    If the entry begins a chunk its inode number is zeroed; otherwise the
+    predecessor absorbs its record length (classic FFS compaction).
+    """
+    ino, reclen, _namelen, _ftype = struct.unpack_from(_ENTRY_HDR, data, offset)
+    if ino == 0:
+        raise ValueError(f"no live entry at offset {offset}")
+    chunk_at = offset - (offset % DIRBLKSIZ)
+    if offset == chunk_at:
+        struct.pack_into("<I", data, offset, 0)
+        return ino
+    # find the predecessor within the chunk
+    scan = chunk_at
+    while True:
+        _ino, prev_reclen, _nl, _ft = struct.unpack_from(_ENTRY_HDR, data, scan)
+        if scan + prev_reclen == offset:
+            struct.pack_into("<H", data, scan + 4, prev_reclen + reclen)
+            return ino
+        scan += prev_reclen
+        if scan >= offset:
+            raise CorruptDirectory(f"no predecessor for offset {offset}")
+
+
+def set_entry_ino(data: bytearray, offset: int, ino: int) -> None:
+    """Overwrite just the inode number of the entry at *offset*.
+
+    This is the soft-updates undo/redo primitive for link addition: writing
+    zero makes the on-disk image 'entry unused' without moving bytes.
+    """
+    struct.pack_into("<I", data, offset, ino)
+
+
+def entry_ino(data: bytes | bytearray, offset: int) -> int:
+    return struct.unpack_from("<I", data, offset)[0]
+
+
+def is_empty_dir(data: bytes | bytearray) -> bool:
+    """True if the directory holds only '.' and '..'."""
+    return all(entry.name in (".", "..")
+               for entry in iter_entries(data) if entry.live)
+
+
+class CorruptDirectory(Exception):
+    """Directory bytes violate the entry packing invariants."""

@@ -1,0 +1,43 @@
+"""Superblock codec.
+
+The superblock stores the :class:`~repro.fs.layout.FSGeometry` plus a magic
+and a generation stamp.  Free counts live in the cylinder-group headers (as
+in FFS, where the superblock's summary is advisory and rebuilt by fsck).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.fs.layout import FSGeometry
+
+SB_MAGIC = 0x50F7F500  # "soft fs"
+_SB_FMT = "<IIIIIIII"
+
+
+@dataclass
+class Superblock:
+    """On-disk superblock contents."""
+
+    geometry: FSGeometry
+    generation: int = 1
+    clean: bool = True
+
+    def pack(self, frag_size: int) -> bytes:
+        geo = self.geometry
+        raw = struct.pack(_SB_FMT, SB_MAGIC, geo.block_size, geo.frag_size,
+                          geo.ipg, geo.dfrags_per_cg, geo.ncg,
+                          self.generation, 1 if self.clean else 0)
+        return raw + bytes(frag_size - len(raw))
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Superblock":
+        (magic, block_size, frag_size, ipg, dfrags, ncg, generation,
+         clean) = struct.unpack_from(_SB_FMT, raw)
+        if magic != SB_MAGIC:
+            raise ValueError(f"bad superblock magic {magic:#x}")
+        geometry = FSGeometry(block_size=block_size, frag_size=frag_size,
+                              ipg=ipg, dfrags_per_cg=dfrags, ncg=ncg)
+        return cls(geometry=geometry, generation=generation,
+                   clean=bool(clean))

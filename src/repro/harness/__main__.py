@@ -1,0 +1,48 @@
+"""Command-line entry point: ``python -m repro.harness [scale]``.
+
+Runs the headline comparison (tables 1 and 2) at the given scale (default
+0.08, a quick look) and prints the paper-style rows.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.report import format_table
+from repro.harness.runner import (
+    FULL_CACHE_BYTES,
+    STANDARD_SCHEMES,
+    run_copy,
+    run_remove,
+    standard_scheme_config,
+)
+from repro.workloads.trees import TreeSpec
+
+
+def main(argv: list[str]) -> int:
+    scale = float(argv[1]) if len(argv) > 1 else 0.08
+    tree = TreeSpec().scaled(scale)
+    cache = max(1 << 20, int(FULL_CACHE_BYTES * scale))
+    print(f"# 4-user copy/remove at scale {scale} "
+          f"({tree.files} files, {tree.total_bytes / 1e6:.1f} MB per user)\n")
+
+    for title, runner in (("4-user copy", run_copy),
+                          ("4-user remove", run_remove)):
+        results = {}
+        for name in STANDARD_SCHEMES:
+            config = standard_scheme_config(name, cache_bytes=cache)
+            results[name] = runner(config, 4, tree)
+        base = results["No Order"].elapsed
+        rows = [[name, r.elapsed, 100 * r.elapsed / base, r.cpu_time,
+                 r.disk_requests, r.io_response_avg * 1000]
+                for name, r in results.items()]
+        print(format_table(
+            f"{title} (simulated seconds)",
+            ["Scheme", "Elapsed", "% of No Order", "CPU",
+             "Disk requests", "I/O resp (ms)"], rows))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,45 @@
+"""Paper-style table and series formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, headers: list[str],
+                 rows: Iterable[Iterable[Any]]) -> str:
+    """Render an aligned ASCII table like the paper's tables 1-3."""
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(header.ljust(widths[i])
+                           for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, xs: list,
+                  series: dict[str, list]) -> str:
+    """Render figure data (one column per scheme) as a table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [series[name][index] for name in series])
+    return format_table(title, headers, rows)

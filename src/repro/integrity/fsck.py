@@ -1,0 +1,363 @@
+"""fsck: audit a (possibly crashed) disk image.
+
+Violations (``errors`` -- structural integrity is lost, fsck cannot decide
+the right repair):
+
+* a directory entry points to an unallocated or out-of-range inode (rule 3
+  for inodes / rule 1 for rename),
+* a data fragment is claimed by two files, or claimed and also outside the
+  data area (rule 2),
+* an inode holds a pointer outside the volume or into metadata regions,
+* directory contents are structurally corrupt.
+
+Repairable inconsistencies (``warnings`` -- classic fsck fixes these
+mechanically, the paper's schemes deliberately allow them):
+
+* link count differing from the number of references, in either direction:
+  fsck recomputes the reference count from the (intact) directory tree and
+  rewrites ``nlink``, so both too-high (remove ordered entry-first) and
+  too-low (an existing inode gained an entry -- e.g. a new subdirectory's
+  '..' -- before its nlink bump landed) are mechanical repairs.  Note rule 3
+  concerns *uninitialized* inodes; pointing at an initialized, live inode
+  early only skews the count,
+* allocated-but-unreferenced inodes or fragments (leaks),
+* bitmap says free but the fragment/inode is referenced (fsck re-marks it),
+* bitmap says used but nothing references it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.disk.storage import SectorStore
+from repro.fs import directory
+from repro.fs.alloc import CG_MAGIC, CgView
+from repro.fs.layout import Dinode, FileType, FSGeometry, ROOT_INO
+from repro.fs.superblock import Superblock
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one audit."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    #: ino -> Dinode for every allocated inode
+    inodes: dict[int, Dinode] = field(default_factory=dict)
+    #: path-ish names discovered, for tests: ino -> list of (dir ino, name)
+    references: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        return (f"fsck: {len(self.errors)} errors, {len(self.warnings)} "
+                f"warnings, {len(self.inodes)} inodes")
+
+
+class _Checker:
+    def __init__(self, image: SectorStore, geometry: FSGeometry) -> None:
+        self.image = image
+        self.geo = geometry
+        self.report = FsckReport()
+        self.claims: dict[int, int] = {}  # fragment daddr -> claiming ino
+
+    # -- raw readers ------------------------------------------------------
+    def read_frags(self, daddr: int, frags: int) -> bytes:
+        spf = self.geo.frag_size // self.image.geometry.sector_size
+        return self.image.read(daddr * spf, frags * spf)
+
+    def read_inode(self, ino: int) -> Dinode:
+        block = self.read_frags(self.geo.inode_block_daddr(ino),
+                                self.geo.frags_per_block)
+        at = self.geo.inode_offset_in_block(ino)
+        return Dinode.unpack(block[at:at + 128])
+
+    # -- phase 1: inodes and block claims ------------------------------------
+    def scan_inodes(self) -> None:
+        for ino in range(self.geo.total_inodes):
+            din = self.read_inode(ino)
+            if not din.allocated:
+                continue
+            if ino < ROOT_INO:
+                continue  # burned inodes
+            self.report.inodes[ino] = din
+            self.check_pointers(ino, din)
+
+    def check_pointers(self, ino: int, din: Dinode) -> None:
+        blocks = (din.size + self.geo.block_size - 1) // self.geo.block_size
+        for lblk in range(min(blocks, self.geo.NDADDR)):
+            daddr = din.direct[lblk]
+            if daddr:
+                self.claim(ino, daddr, self.block_frags(din, lblk))
+        if din.sindirect:
+            self.claim_indirect(ino, din.sindirect, depth=1)
+        if din.dindirect:
+            self.claim_indirect(ino, din.dindirect, depth=2)
+
+    def block_frags(self, din: Dinode, lblk: int) -> int:
+        if din.ftype is FileType.DIRECTORY:
+            return self.geo.frags_per_block
+        size = din.size
+        last = (size - 1) // self.geo.block_size if size else 0
+        if (lblk < last or lblk >= self.geo.NDADDR
+                or size > self.geo.NDADDR * self.geo.block_size):
+            return self.geo.frags_per_block
+        tail = size - lblk * self.geo.block_size
+        return max(1, (tail + self.geo.frag_size - 1) // self.geo.frag_size)
+
+    def claim(self, ino: int, daddr: int, frags: int) -> None:
+        for fragment in range(daddr, daddr + frags):
+            if not self.valid_data_frag(fragment):
+                self.report.errors.append(
+                    f"inode {ino} points outside the data area "
+                    f"(daddr {fragment})")
+                return
+            owner = self.claims.get(fragment)
+            if owner is not None and owner != ino:
+                self.report.errors.append(
+                    f"fragment {fragment} claimed by both inode {owner} "
+                    f"and inode {ino} (rule 2 violated)")
+            else:
+                self.claims[fragment] = ino
+
+    def claim_indirect(self, ino: int, daddr: int, depth: int) -> None:
+        if not self.valid_data_frag(daddr):
+            self.report.errors.append(
+                f"inode {ino} indirect pointer outside data area ({daddr})")
+            return
+        self.claim(ino, daddr, self.geo.frags_per_block)
+        raw = self.read_frags(daddr, self.geo.frags_per_block)
+        for pointer in struct.unpack(f"<{self.geo.nindir}I", raw):
+            if not pointer:
+                continue
+            if depth > 1:
+                self.claim_indirect(ino, pointer, depth - 1)
+            else:
+                self.claim(ino, pointer, self.geo.frags_per_block)
+
+    def valid_data_frag(self, daddr: int) -> bool:
+        try:
+            self.geo.data_index(daddr)
+            return True
+        except ValueError:
+            return False
+
+    # -- phase 2: directory structure ----------------------------------------
+    def scan_directories(self) -> None:
+        for ino, din in self.report.inodes.items():
+            if din.ftype is not FileType.DIRECTORY:
+                continue
+            self.check_directory(ino, din)
+
+    def check_directory(self, ino: int, din: Dinode) -> None:
+        seen_dot = seen_dotdot = False
+        blocks = (din.size + self.geo.block_size - 1) // self.geo.block_size
+        for lblk in range(min(blocks, self.geo.NDADDR)):
+            daddr = din.direct[lblk]
+            if not daddr:
+                self.report.errors.append(
+                    f"directory {ino} has a hole at block {lblk}")
+                continue
+            if not self.valid_data_frag(daddr):
+                continue  # already reported by claim()
+            raw = self.read_frags(daddr, self.geo.frags_per_block)
+            try:
+                entries = list(directory.iter_entries(raw))
+            except directory.CorruptDirectory as exc:
+                self.report.errors.append(
+                    f"directory {ino} block {lblk} corrupt: {exc}")
+                continue
+            for entry in entries:
+                if not entry.live:
+                    continue
+                if entry.name == ".":
+                    seen_dot = True
+                    if entry.ino != ino:
+                        self.report.errors.append(
+                            f"directory {ino}: '.' points to {entry.ino}")
+                    continue
+                if entry.name == "..":
+                    seen_dotdot = True
+                    self.note_reference(entry.ino, ino, "..",
+                                        count_link=True)
+                    continue
+                self.note_reference(entry.ino, ino, entry.name,
+                                    count_link=True)
+        if din.size and not (seen_dot and seen_dotdot):
+            self.report.errors.append(
+                f"directory {ino} missing '.' or '..'")
+
+    def note_reference(self, target: int, dir_ino: int, name: str,
+                       count_link: bool) -> None:
+        if not (0 <= target < self.geo.total_inodes):
+            self.report.errors.append(
+                f"directory {dir_ino} entry {name!r} points to out-of-range "
+                f"inode {target}")
+            return
+        if target not in self.report.inodes:
+            self.report.errors.append(
+                f"directory {dir_ino} entry {name!r} points to unallocated "
+                f"inode {target} (rule 3 violated)")
+            return
+        self.report.references.setdefault(target, []).append((dir_ino, name))
+
+    # -- phase 3: link counts -------------------------------------------------
+    def check_links(self) -> None:
+        for ino, din in self.report.inodes.items():
+            if ino != ROOT_INO and not self.report.references.get(ino):
+                self.report.warnings.append(
+                    f"inode {ino} allocated but unreferenced (orphan; "
+                    f"fsck reclaims)")
+                continue
+            refs = len(self.report.references.get(ino, []))
+            if din.ftype is FileType.DIRECTORY:
+                refs += 1  # its own '.'
+            if din.nlink < refs:
+                self.report.warnings.append(
+                    f"inode {ino} link count {din.nlink} below actual "
+                    f"references {refs} (fsck repairs)")
+            elif din.nlink > refs:
+                self.report.warnings.append(
+                    f"inode {ino} link count {din.nlink} above actual "
+                    f"references {refs} (fsck repairs)")
+
+    # -- phase 4: bitmaps -------------------------------------------------------
+    def check_bitmaps(self) -> None:
+        for cg in range(self.geo.ncg):
+            raw = bytearray(self.read_frags(self.geo.cg_base(cg),
+                                            self.geo.frags_per_block))
+            view = CgView(raw, self.geo)
+            if view.magic != CG_MAGIC:
+                self.report.errors.append(f"cylinder group {cg} bad magic")
+                continue
+            self.check_frag_bitmap(cg, view)
+            self.check_inode_bitmap(cg, view)
+
+    def check_frag_bitmap(self, cg: int, view: CgView) -> None:
+        base = self.geo.cg_data_start(cg)
+        for index in range(self.geo.dfrags_per_cg):
+            daddr = base + index
+            used = view.frag_used(index)
+            claimed = daddr in self.claims
+            if claimed and not used:
+                self.report.warnings.append(
+                    f"fragment {daddr} in use by inode {self.claims[daddr]} "
+                    f"but marked free (fsck repairs)")
+            elif used and not claimed:
+                self.report.warnings.append(
+                    f"fragment {daddr} marked used but unreferenced (leak)")
+
+    def check_inode_bitmap(self, cg: int, view: CgView) -> None:
+        for index in range(self.geo.ipg):
+            ino = cg * self.geo.ipg + index
+            if ino < ROOT_INO:
+                continue
+            used = view.inode_used(index)
+            allocated = ino in self.report.inodes
+            if allocated and not used:
+                self.report.warnings.append(
+                    f"inode {ino} allocated but bitmap says free "
+                    f"(fsck repairs)")
+            elif used and not allocated and ino != ROOT_INO:
+                self.report.warnings.append(
+                    f"inode {ino} bitmap used but dinode free (leak)")
+
+
+def repair(image: SectorStore,
+           geometry: FSGeometry | None = None) -> FsckReport:
+    """Repair an image in place (warnings only); returns the re-audit.
+
+    Implements classic fsck's mechanical fixes for the inconsistencies the
+    paper's safe schemes deliberately allow: link counts are rewritten to
+    the observed reference counts, referenced-but-free bitmap bits are
+    re-marked, unreferenced used bits are released, and orphaned inodes are
+    cleared with their blocks returned to the free pool.  Images with true
+    integrity *errors* are not repairable; callers should check
+    :func:`fsck` first.
+    """
+    geometry = geometry or FSGeometry()
+    report = fsck(image, geometry)
+    geo = Superblock.unpack(image.read(
+        geometry.superblock_daddr * (geometry.frag_size
+                                     // image.geometry.sector_size),
+        geometry.frag_size // image.geometry.sector_size)).geometry
+    spf = geo.frag_size // image.geometry.sector_size
+    checker = _Checker(image, geo)
+    checker.scan_inodes()
+    checker.scan_directories()
+
+    orphans = {ino for ino in checker.report.inodes
+               if ino != ROOT_INO and not checker.report.references.get(ino)}
+
+    def write_inode(ino: int, din: Dinode) -> None:
+        daddr = geo.inode_block_daddr(ino)
+        block = bytearray(image.read(daddr * spf,
+                                     geo.frags_per_block * spf))
+        at = geo.inode_offset_in_block(ino)
+        block[at:at + 128] = din.pack()
+        image.write(daddr * spf, bytes(block))
+
+    # fix link counts; clear orphans
+    for ino, din in checker.report.inodes.items():
+        if ino in orphans:
+            write_inode(ino, Dinode())
+            continue
+        refs = len(checker.report.references.get(ino, []))
+        if din.ftype is FileType.DIRECTORY:
+            refs += 1
+        if din.nlink != refs:
+            din.nlink = refs
+            write_inode(ino, din)
+
+    # rebuild the bitmaps from the surviving (non-orphan) claims
+    claims = {daddr for daddr, owner in checker.claims.items()
+              if owner not in orphans}
+    for cg in range(geo.ncg):
+        raw = bytearray(image.read(geo.cg_base(cg) * spf,
+                                   geo.frags_per_block * spf))
+        view = CgView(raw, geo)
+        base = geo.cg_data_start(cg)
+        free_frags = free_inodes = 0
+        for index in range(geo.dfrags_per_cg):
+            wanted = (base + index) in claims
+            if view.frag_used(index) != wanted:
+                view.set_frags(index, 1, wanted)
+            free_frags += 0 if wanted else 1
+        for index in range(geo.ipg):
+            ino = cg * geo.ipg + index
+            wanted = (ino < ROOT_INO and cg == 0) or (
+                ino in checker.report.inodes and ino not in orphans)
+            if view.inode_used(index) != wanted:
+                view.set_inode(index, wanted)
+            free_inodes += 0 if wanted else 1
+        view.free_frags = free_frags
+        view.free_inodes = free_inodes
+        image.write(geo.cg_base(cg) * spf, bytes(raw))
+
+    return fsck(image, geometry)
+
+
+def fsck(image: SectorStore,
+         geometry: FSGeometry | None = None) -> FsckReport:
+    """Audit *image*; returns the :class:`FsckReport`."""
+    geometry = geometry or FSGeometry()
+    spf = geometry.frag_size // image.geometry.sector_size
+    try:
+        superblock = Superblock.unpack(
+            image.read(geometry.superblock_daddr * spf, spf))
+    except ValueError as exc:
+        report = FsckReport()
+        report.errors.append(f"superblock unreadable: {exc}")
+        return report
+    checker = _Checker(image, superblock.geometry)
+    checker.scan_inodes()
+    if ROOT_INO not in checker.report.inodes:
+        checker.report.errors.append("root inode missing")
+        return checker.report
+    checker.scan_directories()
+    checker.check_links()
+    checker.check_bitmaps()
+    return checker.report

@@ -1,0 +1,84 @@
+"""Security-hole detection for allocation initialization (paper, section 1).
+
+"If this ordering is not enforced, a system failure could result in the file
+containing data from some previously deleted file, presenting both an
+integrity weakness and a security hole."
+
+``plant_secrets`` fills every free data fragment of an image with a marker
+pattern (standing in for a deleted user's secrets still on the platters).
+``find_secret_leaks`` then audits a crashed image: any *readable* byte range
+of any file (within its on-disk size) that still shows the marker means a
+crash exposed stale data -- exactly what allocation initialization prevents.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.disk.storage import SectorStore
+from repro.fs.alloc import CgView
+from repro.fs.layout import FileType, FSGeometry
+from repro.integrity.fsck import fsck
+
+SECRET = b"\xde\xad\xf1\x1e"  # repeated to fill fragments
+
+
+def _spf(image: SectorStore, geometry: FSGeometry) -> int:
+    return geometry.frag_size // image.geometry.sector_size
+
+
+def plant_secrets(image: SectorStore, geometry: FSGeometry) -> int:
+    """Fill every free data fragment with the marker; returns count filled."""
+    spf = _spf(image, geometry)
+    marker = SECRET * (geometry.frag_size // len(SECRET))
+    planted = 0
+    for cg in range(geometry.ncg):
+        raw = bytearray(image.read(geometry.cg_base(cg) * spf,
+                                   geometry.frags_per_block * spf))
+        view = CgView(raw, geometry)
+        base = geometry.cg_data_start(cg)
+        for index in range(geometry.dfrags_per_cg):
+            if not view.frag_used(index):
+                image.write((base + index) * spf, marker)
+                planted += 1
+    return planted
+
+
+def find_secret_leaks(image: SectorStore,
+                      geometry: FSGeometry | None = None) -> list[str]:
+    """Files whose readable contents still contain the planted marker."""
+    geometry = geometry or FSGeometry()
+    spf = _spf(image, geometry)
+    report = fsck(image, geometry)
+    leaks: list[str] = []
+    for ino, din in report.inodes.items():
+        if din.ftype is not FileType.REGULAR:
+            continue
+        remaining = din.size
+        lblk = 0
+        while remaining > 0 and lblk < geometry.NDADDR:
+            daddr = din.direct[lblk]
+            take = min(remaining, geometry.block_size)
+            if daddr:
+                frags = (take + geometry.frag_size - 1) // geometry.frag_size
+                raw = image.read(daddr * spf, frags * spf)[:take]
+                if SECRET in raw:
+                    leaks.append(
+                        f"inode {ino} block {lblk} exposes stale data")
+            remaining -= take
+            lblk += 1
+        if remaining > 0 and din.sindirect:
+            raw = image.read(din.sindirect * spf,
+                             geometry.frags_per_block * spf)
+            for pointer in struct.unpack(f"<{geometry.nindir}I", raw):
+                if remaining <= 0:
+                    break
+                take = min(remaining, geometry.block_size)
+                if pointer:
+                    data = image.read(pointer * spf,
+                                      geometry.frags_per_block * spf)[:take]
+                    if SECRET in data:
+                        leaks.append(
+                            f"inode {ino} indirect block exposes stale data")
+                remaining -= take
+    return leaks

@@ -1,0 +1,39 @@
+"""The five metadata-update ordering schemes.
+
+Each scheme plugs into the same file system at the same four structural
+change points (block allocation, block deallocation, link addition, link
+removal) and decides *how* the affected metadata reaches the disk:
+
+* :class:`NoOrderScheme` -- delayed writes, ordering ignored (section 5's
+  baseline; fast and unsafe).
+* :class:`ConventionalScheme` -- synchronous writes at every ordering point
+  (the classic FFS approach).
+* :class:`SchedulerFlagScheme` -- asynchronous writes with the one-bit
+  ordering flag (section 3.1); pair with a
+  :class:`~repro.driver.ordering.FlagPolicy` driver.
+* :class:`SchedulerChainsScheme` -- asynchronous writes with explicit
+  request dependency lists (section 3.2); pair with
+  :class:`~repro.driver.ordering.ChainsPolicy`.
+* :class:`SoftUpdatesScheme` -- delayed writes with fine-grained dependency
+  records, undo/redo rollback and deferred deallocation (section 4.2 and the
+  appendix).
+"""
+
+from repro.ordering.base import AllocContext, OrderingScheme
+from repro.ordering.noorder import NoOrderScheme
+from repro.ordering.conventional import ConventionalScheme
+from repro.ordering.schedflag import SchedulerFlagScheme
+from repro.ordering.schedchains import SchedulerChainsScheme
+from repro.ordering.softupdates import SoftUpdatesScheme
+from repro.ordering.nvram import NvramScheme
+
+__all__ = [
+    "AllocContext",
+    "ConventionalScheme",
+    "NoOrderScheme",
+    "NvramScheme",
+    "OrderingScheme",
+    "SchedulerChainsScheme",
+    "SchedulerFlagScheme",
+    "SoftUpdatesScheme",
+]

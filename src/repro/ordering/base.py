@@ -1,0 +1,174 @@
+"""The ordering-scheme interface.
+
+The file system performs every structural change on the *in-memory* state
+first (in-core inodes, directory buffers, bitmaps), then hands control to the
+mounted scheme at one of the four update points.  The scheme decides what to
+write when -- synchronously, asynchronously with a flag or dependency list,
+or not at all yet (delayed, with dependency records).
+
+Buffer ownership contract: every held buffer passed to a hook is **consumed**
+by the hook (released, or turned into a write which releases it per the
+cache's block-copy rules).  In-core inodes are passed locked and stay locked.
+
+The three ordering rules the hooks exist to uphold (paper, section 1):
+
+1. never reset the old pointer to a resource before the new pointer has been
+   set,
+2. never re-use a resource before nullifying all previous pointers to it,
+3. never point to a structure before it has been initialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
+
+if TYPE_CHECKING:
+    from repro.cache.buffer import Buffer
+    from repro.fs.inode import Inode
+    from repro.fs.vfs import FileSystem
+
+
+@dataclass
+class AllocContext:
+    """Everything a scheme needs to order one block/fragment allocation.
+
+    ``owner_kind`` says where the new pointer lives: ``"inode"`` (a direct or
+    indirect-root pointer in the in-core inode) or ``"indirect"`` (a slot in
+    the held indirect-block buffer ``ibuf``).  ``old_daddr`` is nonzero when
+    this allocation replaces a fragment run (extension by move), in which
+    case the scheme must also order the old run's reuse (rule 2).
+    ``is_metadata`` marks directory blocks and indirect blocks, whose
+    initialization ordering is enforced by every scheme regardless of the
+    allocation-initialization setting.
+    """
+
+    ip: "Inode"
+    lblk: int
+    owner_kind: str
+    ibuf: Optional["Buffer"]
+    slot: int
+    new_daddr: int
+    new_frags: int
+    old_daddr: int
+    old_frags: int
+    data_buf: "Buffer"
+    is_metadata: bool
+
+
+class OrderingScheme:
+    """Base class; concrete schemes override the hooks they order."""
+
+    #: display name used by the harness
+    name = "base"
+    #: whether the machine should enable the -CB block-copy enhancement
+    uses_block_copy = False
+    #: enforce allocation initialization for regular file data (tables 1-2
+    #: compare each scheme with this on and off; soft updates defaults on)
+    alloc_init = False
+
+    def __init__(self, alloc_init: Optional[bool] = None) -> None:
+        if alloc_init is not None:
+            self.alloc_init = alloc_init
+        self.fs: "FileSystem" = None  # set by attach()
+
+    def attach(self, fs: "FileSystem") -> None:
+        """Bind to the mounted file system (called once at mount)."""
+        self.fs = fs
+
+    # -- the four structural changes ------------------------------------
+    def link_added(self, dp: "Inode", dbuf: "Buffer", offset: int,
+                   ip: "Inode", new_inode: bool) -> Generator:
+        """A directory entry for *ip* was placed in *dbuf* at *offset*.
+
+        Must ensure the child's inode (initialized, link count raised)
+        reaches stable storage before the directory entry does (rule 3 /
+        rule 1).  Consumes *dbuf*.
+        """
+        raise NotImplementedError
+
+    def dotdot_link_added(self, dp: "Inode", child_buf: "Buffer",
+                          offset: int) -> Generator:
+        """mkdir placed '..' (a link to existing *dp*) in the child's block.
+
+        Unlike a link to a *new* inode, '..' points at an inode that is
+        already initialized on disk, so rule 3 is not at stake -- only the
+        parent's link count can transiently undercount (fsck-repairable).
+        Default: order like a normal link addition.  Consumes *child_buf*.
+        """
+        yield from self.link_added(dp, child_buf, offset, dp, new_inode=False)
+
+    def link_removed(self, dp: "Inode", dbuf: "Buffer", offset: int,
+                     ip: "Inode") -> Generator:
+        """The entry at *offset* (pointing at *ip*) was cleared in *dbuf*.
+
+        Must ensure the directory block reaches stable storage before the
+        inode's link count is decremented on disk (rule 1), and is
+        responsible for eventually running ``fs.drop_link(ip)``.  Consumes
+        *dbuf*.
+        """
+        raise NotImplementedError
+
+    def block_allocated(self, ctx: AllocContext) -> Generator:
+        """A block/fragment run was allocated (pointer already set in memory).
+
+        Must enforce rule 3 (initialization before pointer) when
+        ``ctx.is_metadata`` or ``self.alloc_init``, and rule 2 for
+        ``ctx.old_daddr`` (the scheme frees the old run at the safe time).
+        Consumes ``ctx.data_buf`` and ``ctx.ibuf``.
+        """
+        raise NotImplementedError
+
+    def release_inode(self, ip: "Inode") -> Generator:
+        """*ip*'s last link is gone: free its blocks and the inode itself.
+
+        Must enforce rule 2: neither the blocks nor the inode slot may be
+        reused before the on-disk pointers to them are nullified.
+        """
+        raise NotImplementedError
+
+    def truncated(self, ip: "Inode", runs: list) -> Generator:
+        """*ip* was truncated to zero: pointers already reset in core.
+
+        Must enforce rule 2 for *runs* (the freed block runs): they may not
+        be reused before the reset pointers reach stable storage.  Default:
+        the conventional discipline (synchronous reset write, then free).
+        """
+        yield from self.fs.flush_inode_sync(ip)
+        yield from self.fs.free_block_list(runs)
+
+    # -- unordered update points -------------------------------------------
+    def inode_updated(self, ip: "Inode") -> Generator:
+        """Non-structural inode change (size, times, link count bump already
+        ordered elsewhere).  Default: copy to the inode block, delayed write.
+        """
+        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        self.fs.store_inode(ip, ibuf)
+        self.fs.cache.bdwrite(ibuf)
+
+    def data_written(self, ip: "Inode", buf: "Buffer") -> Generator:
+        """Regular file data filled into *buf*.  Default: delayed write."""
+        self.fs.cache.bdwrite(buf)
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    def fsync(self, ip: "Inode") -> Generator:
+        """Make *ip* (inode + data) durable before returning (SYNCIO)."""
+        yield from self.fs.flush_file_data(ip)
+        yield from self.fs.flush_inode_sync(ip)
+
+    # -- lifecycle -------------------------------------------------------------
+    def mounted(self) -> None:
+        """Scheme-specific post-mount setup (timers, zero block, ...)."""
+
+    def drain(self) -> Generator:
+        """Complete all deferred work (overridden by soft updates)."""
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    def pending_work(self) -> int:
+        """Outstanding deferred work (soft updates); 0 for eager schemes."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,67 @@
+"""Conventional: synchronous writes at every ordering point.
+
+The classic FFS discipline: at each of the four structural changes, the
+write that *must* reach the disk first is issued synchronously, so the
+process waits out a full mechanical disk access before continuing.  The
+final write of each sequence is delayed (section 6.1: "the last write in a
+series of metadata updates is asynchronous or delayed").
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.ordering.base import AllocContext, OrderingScheme
+
+
+class ConventionalScheme(OrderingScheme):
+    """Synchronous metadata writes (the paper's baseline implementation)."""
+
+    name = "Conventional"
+    uses_block_copy = False  # classic write-lock behaviour
+
+    def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
+        # rule 3/1: the pointed-to inode reaches disk before the entry
+        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        self.fs.store_inode(ip, ibuf)
+        yield from self.fs.cache.bwrite(ibuf)      # synchronous
+        self.fs.cache.bdwrite(dbuf)                # last write: delayed
+
+    def link_removed(self, dp, dbuf, offset, ip) -> Generator:
+        # rule 1: the cleared entry reaches disk before the link count drops
+        yield from self.fs.cache.bwrite(dbuf)      # synchronous
+        yield from self.fs.drop_link(ip)
+
+    def block_allocated(self, ctx: AllocContext) -> Generator:
+        must_init = ctx.is_metadata or self.alloc_init
+        moved = bool(ctx.old_daddr) and ctx.old_daddr != ctx.new_daddr
+        if moved:
+            # rule 2 for fragment extension by move: the relocated pointer
+            # reaches disk before the old run can be reused
+            yield from self.fs.flush_inode_sync(ctx.ip)
+        if ctx.ibuf is not None:
+            self.fs.cache.bdwrite(ctx.ibuf)
+        if must_init:
+            # rule 3: initialize the new block on disk before any pointer
+            # to it can land (the pointer writes are delayed, so completing
+            # this synchronous write first is sufficient)
+            yield from self.fs.cache.bwrite(ctx.data_buf)
+        else:
+            self.fs.cache.brelse(ctx.data_buf)
+        if moved:
+            self.fs.cache.invalidate(ctx.old_daddr, ctx.old_frags)
+            yield from self.fs.allocator.free_frags(ctx.old_daddr,
+                                                    ctx.old_frags)
+
+    def release_inode(self, ip) -> Generator:
+        # rule 2: nullify every on-disk pointer (synchronously) before the
+        # blocks and the inode slot return to the free pool
+        runs = yield from self.fs.collect_blocks(ip)
+        self.fs.clear_block_pointers(ip)
+        ino = ip.ino
+        yield from self.fs.free_inode_record(ip)
+        ibuf = yield from self.fs.load_inode_buf(ino)
+        at = self.fs.geometry.inode_offset_in_block(ino)
+        ibuf.data[at:at + 128] = bytes(128)
+        yield from self.fs.cache.bwrite(ibuf)      # synchronous reset
+        yield from self.fs.free_block_list(runs)   # bitmaps: delayed

@@ -1,0 +1,60 @@
+"""No Order: delayed writes everywhere, ordering ignored.
+
+The paper's performance baseline (and integrity anti-baseline): "This
+baseline has the same performance and lack of reliability as the delayed
+mount option described in [Ohta90]" and behaves like a memory-based file
+system while the cache holds the working set.  A crash can leave directory
+entries pointing at uninitialized inodes, blocks shared between files, and
+every other violation of the three rules -- the integrity test suite
+demonstrates exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.ordering.base import AllocContext, OrderingScheme
+
+
+class NoOrderScheme(OrderingScheme):
+    """Everything is a delayed write; resources are reused immediately."""
+
+    name = "No Order"
+    uses_block_copy = True  # delayed writes flush in the background; never
+    # stall foreground updates on a write lock
+
+    def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
+        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        self.fs.store_inode(ip, ibuf)
+        self.fs.cache.bdwrite(ibuf)
+        self.fs.cache.bdwrite(dbuf)
+
+    def link_removed(self, dp, dbuf, offset, ip) -> Generator:
+        self.fs.cache.bdwrite(dbuf)
+        yield from self.fs.drop_link(ip)
+
+    def block_allocated(self, ctx: AllocContext) -> Generator:
+        if ctx.ibuf is not None:
+            self.fs.cache.bdwrite(ctx.ibuf)
+        self.fs.cache.bdwrite(ctx.data_buf)
+        if ctx.old_daddr and ctx.old_daddr != ctx.new_daddr:
+            # fragment moved: free the old run right away (unsafe ordering)
+            self.fs.cache.invalidate(ctx.old_daddr, ctx.old_frags)
+            yield from self.fs.allocator.free_frags(ctx.old_daddr,
+                                                    ctx.old_frags)
+
+    def truncated(self, ip, runs) -> Generator:
+        yield from self.fs.iupdat(ip)            # delayed, unordered
+        yield from self.fs.free_block_list(runs)  # reuse immediately
+
+    def release_inode(self, ip) -> Generator:
+        runs = yield from self.fs.collect_blocks(ip)
+        self.fs.clear_block_pointers(ip)
+        yield from self.fs.free_block_list(runs)
+        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        ino = ip.ino
+        yield from self.fs.free_inode_record(ip)
+        # write the cleared dinode (delayed, unordered)
+        at = self.fs.geometry.inode_offset_in_block(ino)
+        ibuf.data[at:at + 128] = bytes(128)
+        self.fs.cache.bdwrite(ibuf)

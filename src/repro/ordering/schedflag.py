@@ -1,0 +1,88 @@
+"""Scheduler Flag: asynchronous writes carrying the one-bit ordering flag.
+
+Section 3.1: "Write requests that would previously have been synchronous for
+ordering purposes are issued asynchronously with their ordering flags set."
+The driver's :class:`~repro.driver.ordering.FlagPolicy` gives the flag its
+meaning (Full / Back / Part, optionally -NR); this scheme only decides which
+writes carry it.  Because the flag constrains every *later-issued* request,
+the writes that must land first are issued immediately (flagged) while the
+dependent updates stay delayed and are flushed later -- automatically
+ordered behind the flagged request.
+
+The -CB block-copy enhancement (section 3.3) is selected via
+``use_block_copy``; the headline configuration in section 5 is Part-NR/CB.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.ordering.base import AllocContext, OrderingScheme
+
+
+class SchedulerFlagScheme(OrderingScheme):
+    """Asynchronous flagged writes; ordering enforced by the disk scheduler."""
+
+    def __init__(self, alloc_init: bool = False,
+                 block_copy: bool = True) -> None:
+        super().__init__(alloc_init=alloc_init)
+        self.uses_block_copy = block_copy
+        self.name = "Scheduler Flag"
+
+    def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
+        # the inode write is flagged: the (delayed, later-issued) directory
+        # block write cannot be scheduled before it
+        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        self.fs.store_inode(ip, ibuf)
+        yield from self.fs.cache.bawrite(ibuf, flag=True)
+        self.fs.cache.bdwrite(dbuf)
+
+    def link_removed(self, dp, dbuf, offset, ip) -> Generator:
+        # the cleared-entry write is flagged; the inode updates that
+        # drop_link issues afterwards are ordered behind it
+        yield from self.fs.cache.bawrite(dbuf, flag=True)
+        yield from self.fs.drop_link(ip)
+
+    def block_allocated(self, ctx: AllocContext) -> Generator:
+        must_init = ctx.is_metadata or self.alloc_init
+        moved = bool(ctx.old_daddr) and ctx.old_daddr != ctx.new_daddr
+        if moved:
+            # flagged pointer-update write; any write reusing the old run is
+            # issued later and therefore ordered behind it
+            yield from self._flush_inode_flagged(ctx.ip)
+        if ctx.ibuf is not None:
+            self.fs.cache.bdwrite(ctx.ibuf)
+        if must_init:
+            # rule 3: flagged initialization write (for regular data this is
+            # the zero-filled reserved block of section 3.3; the real data
+            # arrives with a later write)
+            yield from self.fs.cache.bawrite(ctx.data_buf, flag=True)
+        else:
+            self.fs.cache.brelse(ctx.data_buf)
+        if moved:
+            self.fs.cache.invalidate(ctx.old_daddr, ctx.old_frags)
+            yield from self.fs.allocator.free_frags(ctx.old_daddr,
+                                                    ctx.old_frags)
+
+    def truncated(self, ip, runs) -> Generator:
+        # flagged reset write: reusers' writes are issued later (rule 2)
+        yield from self._flush_inode_flagged(ip)
+        yield from self.fs.free_block_list(runs)
+
+    def release_inode(self, ip) -> Generator:
+        runs = yield from self.fs.collect_blocks(ip)
+        self.fs.clear_block_pointers(ip)
+        ino = ip.ino
+        yield from self.fs.free_inode_record(ip)
+        ibuf = yield from self.fs.load_inode_buf(ino)
+        at = self.fs.geometry.inode_offset_in_block(ino)
+        ibuf.data[at:at + 128] = bytes(128)
+        # flagged reset write: any write that reuses these blocks or this
+        # inode slot is issued later and ordered behind it (rule 2)
+        yield from self.fs.cache.bawrite(ibuf, flag=True)
+        yield from self.fs.free_block_list(runs)
+
+    def _flush_inode_flagged(self, ip) -> Generator:
+        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        self.fs.store_inode(ip, ibuf)
+        yield from self.fs.cache.bawrite(ibuf, flag=True)

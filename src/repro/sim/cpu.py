@@ -1,0 +1,62 @@
+"""A single-server CPU resource with per-process time accounting.
+
+The paper's testbed is a 33 MHz i486; every benchmark result has a CPU
+component (the dark regions in figures 3/4, the CPU-time columns of tables 1
+and 2, and the compile-dominated Andrew phase).  We model the CPU as a FIFO
+single server: a process *computes* by holding the CPU for a duration, split
+into quanta so concurrent processes interleave rather than monopolise.
+
+Durations are produced by :class:`repro.harness.config.CostModel`; this module
+only executes them.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.engine import Engine
+from repro.sim.primitives import Lock
+
+
+class CPU:
+    """One processor shared by all simulated processes.
+
+    ``quantum`` bounds how long one process may hold the CPU per grab;
+    long computations (e.g. the Andrew compile phase) are sliced so that
+    other runnable processes make progress, approximating a time-sharing
+    scheduler without implementing preemption.
+    """
+
+    def __init__(self, engine: Engine, quantum: float = 0.005) -> None:
+        self.engine = engine
+        self.quantum = quantum
+        self._mutex = Lock(engine)
+        #: total busy seconds, for utilisation reporting
+        self.busy_time = 0.0
+        #: when False, compute() consumes no simulated time (image building)
+        self.enabled = True
+
+    def compute(self, seconds: float) -> Generator:
+        """Consume *seconds* of CPU, charged to the calling process.
+
+        Used with ``yield from``::
+
+            yield from machine.cpu.compute(costs.syscall)
+        """
+        if seconds < 0:
+            raise ValueError(f"negative compute time: {seconds}")
+        if not self.enabled or seconds == 0.0:
+            return
+        process = self.engine.current_process
+        remaining = seconds
+        while remaining > 0.0:
+            slice_len = min(remaining, self.quantum)
+            yield self._mutex.acquire()
+            try:
+                yield self.engine.timeout(slice_len)
+            finally:
+                self._mutex.release()
+            remaining -= slice_len
+            self.busy_time += slice_len
+            if process is not None:
+                process.cpu_time += slice_len

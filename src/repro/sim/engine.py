@@ -1,0 +1,129 @@
+"""The discrete-event engine: clock, heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Event, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation cannot make progress or a process crashed."""
+
+
+class Engine:
+    """The event loop and simulated clock.
+
+    The engine holds a heap of ``(time, sequence, event)`` entries.  Entries
+    at equal times fire in insertion order, which makes every simulation run
+    fully deterministic for a given seed.
+
+    Typical use::
+
+        eng = Engine()
+
+        def worker():
+            yield eng.timeout(1.5)
+            return "done"
+
+        proc = eng.process(worker())
+        eng.run_until(proc)
+        assert eng.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        #: the process currently being resumed (None outside process context)
+        self.current_process = None
+        self._event_count = 0
+
+    # -- event construction ---------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered one-shot event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> "Process":  # noqa: F821
+        """Spawn *generator* as a simulated process, started on the next step."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after *delay* simulated seconds (no process)."""
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _ev: fn(*args))
+
+    # -- heap internals ---------------------------------------------------
+    def _enqueue_event(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- run loop ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event on the heap."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError(f"time went backwards: {when} < {self.now}")
+        self.now = when
+        self._event_count += 1
+        event._process()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, the clock passes *until*, or *max_events*.
+
+        ``until`` is an absolute simulated time.  ``max_events`` is a safety
+        valve for tests: exceeding it raises :class:`SimulationError` rather
+        than hanging.
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self.now:.6f}")
+
+    def run_until(self, event: Event, max_events: Optional[int] = None) -> Any:
+        """Run until *event* has been processed; return its value.
+
+        Raises the event's exception if it failed, and
+        :class:`SimulationError` if the heap drains first.
+        """
+        processed = 0
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(
+                    f"event heap drained at t={self.now:.6f} before the awaited "
+                    f"event fired (deadlock or missing wakeup)")
+            self.step()
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self.now:.6f}")
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def run_all(self, events: list[Event], max_events: Optional[int] = None) -> list[Any]:
+        """Run until every event in *events* has fired; return their values."""
+        return [self.run_until(event, max_events=max_events) for event in events]
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed since construction (for instrumentation)."""
+        return self._event_count
+
+    def __repr__(self) -> str:
+        return f"<Engine t={self.now:.6f} pending={len(self._heap)}>"

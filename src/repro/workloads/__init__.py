@@ -1,0 +1,39 @@
+"""The paper's workloads, rebuilt.
+
+* :mod:`trees` -- deterministic synthetic directory trees standing in for
+  the 535-file / 14.3 MB home-directory tree of section 2.
+* :mod:`copybench` -- the N-user copy and N-user remove benchmarks.
+* :mod:`microbench` -- figure 5's 1 KB file create / remove / create+remove
+  throughput benchmarks.
+* :mod:`andrew` -- the 5-phase Andrew benchmark of table 3.
+* :mod:`sdet` -- the Sdet-like software-development script workload of
+  figure 6.
+
+Every workload is expressed as generator functions run as simulated user
+processes on a :class:`~repro.machine.Machine`.
+"""
+
+from repro.workloads.trees import TreeSpec, tree_layout, build_tree
+from repro.workloads.copybench import (
+    copy_tree_user,
+    populate_sources,
+    remove_tree_user,
+)
+from repro.workloads.microbench import MicrobenchResult, run_microbench
+from repro.workloads.andrew import AndrewResult, run_andrew
+from repro.workloads.sdet import SdetResult, run_sdet
+
+__all__ = [
+    "AndrewResult",
+    "MicrobenchResult",
+    "SdetResult",
+    "TreeSpec",
+    "build_tree",
+    "copy_tree_user",
+    "populate_sources",
+    "remove_tree_user",
+    "run_andrew",
+    "run_microbench",
+    "run_sdet",
+    "tree_layout",
+]

@@ -1,0 +1,149 @@
+"""The Andrew file system benchmark (table 3).
+
+Five phases [Howard88]: (1) create a directory tree, (2) copy the data
+files, (3) examine the status of every file, (4) read every byte of each
+file, (5) compile several of the files.  The compile phase dominates
+("because of aggressive, time-consuming compilation techniques and a slow
+CPU, by 1994 standards"), so phases 1-2 are where the schemes differ and
+3-4 are practically indistinguishable.
+
+We synthesize an Andrew-shaped input: ~20 directories, ~70 source files
+totalling ~200 KB, and a compiler modelled as a CPU burn per source file
+plus object-file output -- the phase *structure* is what table 3 measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.machine import Machine
+
+#: full-scale shape (scaled linearly by the harness)
+DIRECTORIES = 20
+FILES = 70
+TOTAL_BYTES = 200_000
+#: full-scale CPU seconds per compiled source (33 MHz i486 with -O)
+COMPILE_SECONDS_PER_FILE = 4.5
+COMPILED_FRACTION = 0.85
+
+
+@dataclass
+class AndrewResult:
+    scheme: str
+    iterations: int
+    #: phase name -> (mean seconds, standard deviation)
+    phases: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> tuple[float, float]:
+        means = [m for m, _s in self.phases.values()]
+        stds = [s for _m, s in self.phases.values()]
+        return sum(means), sum(s ** 2 for s in stds) ** 0.5
+
+
+PHASE_NAMES = ["mkdir", "copy", "stat", "read", "compile"]
+
+
+def _layout(scale: float, seed: int = 7):
+    rng = random.Random(seed)
+    ndirs = max(2, int(DIRECTORIES * scale))
+    nfiles = max(4, int(FILES * scale))
+    dirs = [f"sub{i:02d}" for i in range(ndirs)]
+    sizes = [max(128, int(TOTAL_BYTES * scale / nfiles
+                          * rng.uniform(0.4, 2.0)))
+             for _ in range(nfiles)]
+    files = [(f"{rng.choice(dirs)}/src{i:03d}.c", size)
+             for i, size in enumerate(sizes)]
+    return dirs, files
+
+
+def run_andrew(machine: Machine, iterations: int = 3,
+               scale: float = 1.0, compile_scale: float = 1.0,
+               seed: int = 7) -> AndrewResult:
+    """Run the five phases *iterations* times; returns per-phase stats."""
+    dirs, files = _layout(scale, seed)
+    samples: dict[str, list[float]] = {name: [] for name in PHASE_NAMES}
+
+    # the pristine source tree the benchmark copies from
+    def sources() -> Generator:
+        yield from machine.fs.mkdir("/andrew-src")
+        seen = set()
+        for path, _size in files:
+            top = path.split("/")[0]
+            if top not in seen:
+                seen.add(top)
+                yield from machine.fs.mkdir(f"/andrew-src/{top}")
+        for path, size in files:
+            yield from machine.fs.write_file(f"/andrew-src/{path}",
+                                             b"int main;\n" * (size // 10 + 1))
+
+    machine.populate(sources())
+
+    for iteration in range(iterations):
+        root = f"/run{iteration}"
+        process = machine.spawn(
+            _one_iteration(machine, root, dirs, files, samples,
+                           compile_scale),
+            name=f"andrew{iteration}")
+        machine.run(process, max_events=500_000_000)
+        machine.sync_and_settle()
+
+    result = AndrewResult(scheme=machine.scheme_name, iterations=iterations)
+    for name in PHASE_NAMES:
+        values = samples[name]
+        mean = sum(values) / len(values)
+        std = (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+        result.phases[name] = (mean, std)
+    return result
+
+
+def _one_iteration(machine: Machine, root: str, dirs, files, samples,
+                   compile_scale: float) -> Generator:
+    fs = machine.fs
+    clock = machine.engine
+
+    # phase 1: create the directory tree
+    start = clock.now
+    yield from fs.mkdir(root)
+    for name in dirs:
+        yield from fs.mkdir(f"{root}/{name}")
+    samples["mkdir"].append(clock.now - start)
+
+    # phase 2: copy the data files
+    start = clock.now
+    for path, _size in files:
+        data = yield from fs.read_file(f"/andrew-src/{path}")
+        yield from fs.write_file(f"{root}/{path}", data)
+    samples["copy"].append(clock.now - start)
+
+    # phase 3: examine the status of every file
+    start = clock.now
+    for name in dirs:
+        listing = yield from fs.readdir(f"{root}/{name}")
+        for entry in listing:
+            yield from fs.stat(f"{root}/{name}/{entry}")
+    samples["stat"].append(clock.now - start)
+
+    # phase 4: read every byte of each file
+    start = clock.now
+    for path, _size in files:
+        yield from fs.read_file(f"{root}/{path}")
+    samples["read"].append(clock.now - start)
+
+    # phase 5: compile several of the files
+    start = clock.now
+    compiled = files[:max(1, int(len(files) * COMPILED_FRACTION))]
+    for path, _size in compiled:
+        source = yield from fs.read_file(f"{root}/{path}")
+        yield from machine.cpu.compute(
+            COMPILE_SECONDS_PER_FILE * compile_scale
+            * machine.costs.scale)
+        yield from fs.write_file(f"{root}/{path[:-2]}.o",
+                                 source[:len(source) // 2 + 64])
+    # link step: one bigger output
+    yield from machine.cpu.compute(
+        3.0 * compile_scale * machine.costs.scale)
+    yield from fs.write_file(f"{root}/a.out", b"\x7fELF" * 2048)
+    samples["compile"].append(clock.now - start)

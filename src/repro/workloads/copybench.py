@@ -1,0 +1,75 @@
+"""The N-user copy and N-user remove benchmarks (section 2).
+
+"In the N-user copy benchmark, each 'user' concurrently performs a recursive
+copy of a separate directory tree ...  In the N-user remove benchmark, each
+'user' deletes one newly copied directory tree."
+
+Copies read through the file system (cp-style 8 KB chunks), so the source
+tree's data and metadata reads compete with the destination's writes, as on
+the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.machine import Machine
+from repro.workloads.trees import TreeSpec, build_tree
+
+
+def populate_sources(machine: Machine, users: int,
+                     spec: TreeSpec) -> None:
+    """Build one source tree per user (instantaneous, then cold cache)."""
+
+    def builder() -> Generator:
+        for user in range(users):
+            yield from build_tree(machine.fs, f"/src{user}", spec)
+        for user in range(users):
+            yield from machine.fs.mkdir(f"/u{user}")
+
+    machine.populate(builder())
+
+
+def copy_tree_user(machine: Machine, user: int,
+                   chunk: int = 8192) -> Generator:
+    """Recursively copy ``/src<user>`` to ``/u<user>/tree``."""
+    fs = machine.fs
+    yield from _copy_dir(fs, f"/src{user}", f"/u{user}/tree", chunk)
+
+
+def _copy_dir(fs, source: str, dest: str, chunk: int) -> Generator:
+    yield from fs.mkdir(dest)
+    names = yield from fs.readdir(source)
+    for name in names:
+        src_path = f"{source}/{name}"
+        dst_path = f"{dest}/{name}"
+        attrs = yield from fs.stat(src_path)
+        if attrs.ftype.name == "DIRECTORY":
+            yield from _copy_dir(fs, src_path, dst_path, chunk)
+        else:
+            src = yield from fs.open(src_path)
+            dst = yield from fs.create(dst_path)
+            while True:
+                data = yield from fs.read(src, chunk)
+                if not data:
+                    break
+                yield from fs.write(dst, data)
+            yield from fs.close(src)
+            yield from fs.close(dst)
+
+
+def remove_tree_user(machine: Machine, user: int) -> Generator:
+    """Recursively delete ``/u<user>/tree``."""
+    yield from _remove_dir(machine.fs, f"/u{user}/tree")
+
+
+def _remove_dir(fs, path: str) -> Generator:
+    names = yield from fs.readdir(path)
+    for name in names:
+        child = f"{path}/{name}"
+        attrs = yield from fs.stat(child)
+        if attrs.ftype.name == "DIRECTORY":
+            yield from _remove_dir(fs, child)
+        else:
+            yield from fs.unlink(child)
+    yield from fs.rmdir(path)

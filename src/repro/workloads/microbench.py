@@ -1,0 +1,80 @@
+"""Figure 5's metadata-throughput microbenchmarks.
+
+"Each data point (10,000 files split among the 'users') is an average of
+several independent executions."  Each user works in a separate directory
+(create throughput improves with users because name-collision checks scan
+shorter directories).  Three modes:
+
+* ``create``  -- figure 5a: create 1 KB files;
+* ``remove``  -- figure 5b: remove pre-existing 1 KB files;
+* ``create_remove`` -- figure 5c: create each file and immediately remove it
+  (the case soft updates services with no disk writes at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.machine import Machine
+
+FILE_SIZE = 1024
+
+
+@dataclass
+class MicrobenchResult:
+    scheme: str
+    mode: str
+    users: int
+    files: int
+    elapsed: float
+    #: files per second over the whole run (the figure's y axis)
+    throughput: float
+    disk_requests: int
+
+
+def _create_user(machine: Machine, user: int, count: int) -> Generator:
+    payload = bytes([user % 251]) * FILE_SIZE
+    for index in range(count):
+        yield from machine.fs.write_file(f"/u{user}/f{index}", payload)
+
+
+def _remove_user(machine: Machine, user: int, count: int) -> Generator:
+    for index in range(count):
+        yield from machine.fs.unlink(f"/u{user}/f{index}")
+
+
+def _create_remove_user(machine: Machine, user: int, count: int) -> Generator:
+    payload = bytes([user % 251]) * FILE_SIZE
+    for index in range(count):
+        yield from machine.fs.write_file(f"/u{user}/f{index}", payload)
+        yield from machine.fs.unlink(f"/u{user}/f{index}")
+
+
+def run_microbench(machine: Machine, users: int, total_files: int,
+                   mode: str) -> MicrobenchResult:
+    """Run one figure-5 data point on a freshly formatted *machine*."""
+    per_user = total_files // users
+    workers = {"create": _create_user, "remove": _remove_user,
+               "create_remove": _create_remove_user}[mode]
+
+    def setup() -> Generator:
+        for user in range(users):
+            yield from machine.fs.mkdir(f"/u{user}")
+        if mode == "remove":
+            for user in range(users):
+                yield from _create_user(machine, user, per_user)
+
+    machine.populate(setup())
+    start = machine.engine.now
+    requests_before = machine.driver.requests_issued
+    processes = [machine.spawn(workers(machine, user, per_user),
+                               name=f"user{user}")
+                 for user in range(users)]
+    machine.run(*processes, max_events=500_000_000)
+    elapsed = max(p.finished_at for p in processes) - start
+    return MicrobenchResult(
+        scheme=machine.scheme_name, mode=mode, users=users,
+        files=per_user * users, elapsed=elapsed,
+        throughput=(per_user * users) / elapsed if elapsed > 0 else 0.0,
+        disk_requests=machine.driver.requests_issued - requests_before)

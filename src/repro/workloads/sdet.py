@@ -1,0 +1,132 @@
+"""Sdet (figure 6): concurrent software-development scripts.
+
+From the SPEC SDM suite [Gaede81, Gaede82]: each "script" is a randomly
+generated sequence of user commands "designed to emulate a typical
+software-development environment (e.g., editing, compiling, file creation
+and various UNIX utilities)".  The reported metric is scripts/hour as a
+function of script concurrency.
+
+Our scripts draw from a fixed command mix (deterministic per seed): edit
+(read-modify-write), compile (CPU burn + object file), cp, rm, mkdir/rmdir,
+ls, stat, touch.  Absolute scripts/hour depends on the command weights; the
+scheme *ordering* and the shape against concurrency is what figure 6 shows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.machine import Machine
+
+#: command mix: (name, weight)
+COMMAND_MIX = [
+    ("edit", 18),
+    ("compile", 12),
+    ("create", 18),
+    ("rm", 14),
+    ("ls", 12),
+    ("stat", 12),
+    ("cp", 6),
+    ("trunc", 4),   # editors that save via O_TRUNC + rewrite
+    ("mkdir", 4),
+]
+#: CPU seconds per compile at full scale (a small tool, not Andrew's -O run)
+COMPILE_SECONDS = 0.25
+
+
+@dataclass
+class SdetResult:
+    scheme: str
+    scripts: int
+    commands_per_script: int
+    elapsed: float
+    #: the figure's y axis
+    scripts_per_hour: float
+
+
+def _script(machine: Machine, user: int, commands: int,
+            seed: int) -> Generator:
+    fs = machine.fs
+    # every script draws the same command sequence (in its own directory),
+    # so concurrent runs are comparable and the max-finish metric is not
+    # dominated by an unlucky straggler
+    rng = random.Random(seed)
+    home = f"/sdet{user}"
+    yield from fs.mkdir(home)
+    files: list[str] = []
+    dirs: list[str] = []
+    counter = 0
+    names = [name for name, weight in COMMAND_MIX for _ in range(weight)]
+    for _step in range(commands):
+        command = rng.choice(names)
+        if command == "create" or (command in ("edit", "rm", "ls", "stat",
+                                               "cp", "compile", "trunc")
+                                   and not files):
+            path = f"{home}/file{counter}"
+            counter += 1
+            yield from fs.write_file(path, b"x" * rng.choice(
+                [512, 2048, 8192, 16384]))
+            files.append(path)
+        elif command == "edit":
+            path = rng.choice(files)
+            data = yield from fs.read_file(path)
+            yield from machine.cpu.compute(0.02 * machine.costs.scale)
+            yield from fs.write_file(f"{path}.new", data + b"// edited\n")
+            yield from fs.rename(f"{path}.new", path)
+        elif command == "compile":
+            path = rng.choice(files)
+            yield from fs.read_file(path)
+            yield from machine.cpu.compute(
+                COMPILE_SECONDS * machine.costs.scale)
+            obj = f"{home}/obj{counter}"
+            counter += 1
+            yield from fs.write_file(obj, b"\x7fELF" * 512)
+            files.append(obj)
+        elif command == "trunc":
+            path = rng.choice(files)
+            data = yield from fs.read_file(path)
+            yield from fs.truncate(path)
+            handle = yield from fs.open(path)
+            yield from fs.write(handle, data[: len(data) // 2] + b"\n")
+            yield from fs.close(handle)
+        elif command == "rm":
+            path = files.pop(rng.randrange(len(files)))
+            yield from fs.unlink(path)
+        elif command == "ls":
+            yield from fs.readdir(home)
+        elif command == "stat":
+            yield from fs.stat(rng.choice(files))
+        elif command == "cp":
+            src = rng.choice(files)
+            data = yield from fs.read_file(src)
+            dst = f"{home}/copy{counter}"
+            counter += 1
+            yield from fs.write_file(dst, data)
+            files.append(dst)
+        elif command == "mkdir":
+            path = f"{home}/dir{counter}"
+            counter += 1
+            yield from fs.mkdir(path)
+            dirs.append(path)
+    # clean the workspace, like the end of an Sdet script
+    for path in files:
+        yield from fs.unlink(path)
+    for path in dirs:
+        yield from fs.rmdir(path)
+
+
+def run_sdet(machine: Machine, scripts: int, commands_per_script: int = 60,
+             seed: int = 42) -> SdetResult:
+    """Run *scripts* concurrent scripts; returns scripts/hour."""
+    start = machine.engine.now
+    processes = [machine.spawn(
+        _script(machine, user, commands_per_script, seed),
+        name=f"script{user}") for user in range(scripts)]
+    machine.run(*processes, max_events=500_000_000)
+    elapsed = max(p.finished_at for p in processes) - start
+    return SdetResult(
+        scheme=machine.scheme_name, scripts=scripts,
+        commands_per_script=commands_per_script, elapsed=elapsed,
+        scripts_per_hour=scripts * 3600.0 / elapsed if elapsed else 0.0)

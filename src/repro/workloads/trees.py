@@ -1,0 +1,80 @@
+"""Synthetic directory trees.
+
+The paper's copy/remove benchmarks operate on "535 files totaling 14.3 MB of
+storage taken from the first author's home directory".  We cannot have that
+tree, so we generate one with the same aggregate statistics: file count,
+total bytes (mean file size ~27 KB), a log-normal-ish size distribution
+(most files small, a few large enough to need indirect blocks), and a
+directory hierarchy with realistic fan-out.  Generation is deterministic in
+the seed, so every scheme copies byte-identical trees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """Shape of a synthetic source tree."""
+
+    files: int = 535
+    total_bytes: int = 14_300_000
+    dirs: int = 30
+    seed: int = 1994
+
+    def scaled(self, factor: float) -> "TreeSpec":
+        """A proportionally smaller tree (for fast benchmark runs)."""
+        return TreeSpec(files=max(4, int(self.files * factor)),
+                        total_bytes=max(8192, int(self.total_bytes * factor)),
+                        dirs=max(2, int(self.dirs * factor)),
+                        seed=self.seed)
+
+
+def tree_layout(spec: TreeSpec) -> tuple[list[str], list[tuple[str, int]]]:
+    """Deterministically lay out the tree.
+
+    Returns ``(directories, files)`` where directories are relative paths in
+    creation order (parents first) and files are ``(relative path, size)``.
+    """
+    rng = random.Random(spec.seed)
+    directories: list[str] = []
+    for index in range(spec.dirs):
+        if not directories or rng.random() < 0.45:
+            parent = ""
+        else:
+            parent = rng.choice(directories)
+        directories.append(f"{parent}/d{index:02d}" if parent
+                           else f"d{index:02d}")
+    directories.sort(key=lambda p: p.count("/"))  # parents before children
+
+    # log-normal-ish sizes normalised to the requested total
+    weights = [rng.lognormvariate(0, 1.2) for _ in range(spec.files)]
+    scale = spec.total_bytes / sum(weights)
+    sizes = [max(64, int(w * scale)) for w in weights]
+
+    files = []
+    for index, size in enumerate(sizes):
+        home = rng.choice(directories) if directories else ""
+        name = f"f{index:04d}"
+        files.append((f"{home}/{name}" if home else name, size))
+    return directories, files
+
+
+def file_bytes(path: str, size: int) -> bytes:
+    """Deterministic file contents (cheap, content-addressable)."""
+    stamp = (path.encode() + b"|") * (size // (len(path) + 1) + 1)
+    return stamp[:size]
+
+
+def build_tree(fs, root: str, spec: TreeSpec) -> Generator:
+    """Create the tree under *root* (a simulated-process subroutine)."""
+    directories, files = tree_layout(spec)
+    yield from fs.mkdir(root)
+    for relative in directories:
+        yield from fs.mkdir(f"{root}/{relative}")
+    for relative, size in files:
+        yield from fs.write_file(f"{root}/{relative}",
+                                 file_bytes(relative, size))

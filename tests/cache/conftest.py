@@ -1,0 +1,34 @@
+"""Shared fixtures: a small engine + disk + driver + cache rig."""
+
+import pytest
+
+from repro.costs import CostModel
+from repro.cache import BufferCache, SyncerDaemon
+from repro.disk import Disk
+from repro.driver import DeviceDriver, FlagPolicy, FlagSemantics
+from repro.sim import CPU, Engine
+
+
+class CacheRig:
+    def __init__(self, capacity_bytes=64 * 1024, block_copy=False,
+                 syncer=False, free_cpu=True):
+        self.engine = Engine()
+        self.disk = Disk(self.engine)
+        self.driver = DeviceDriver(self.engine, self.disk,
+                                   FlagPolicy(FlagSemantics.IGNORE))
+        self.cpu = CPU(self.engine)
+        self.costs = CostModel(scale=0.0 if free_cpu else 1.0)
+        self.cache = BufferCache(self.engine, self.driver, self.cpu,
+                                 self.costs, capacity_bytes=capacity_bytes,
+                                 block_copy=block_copy)
+        self.syncer = (SyncerDaemon(self.engine, self.cache, sweep_passes=2)
+                       if syncer else None)
+
+    def run(self, generator, name="test-proc"):
+        return self.engine.run_until(
+            self.engine.process(generator, name=name), max_events=2_000_000)
+
+
+@pytest.fixture
+def rig():
+    return CacheRig()

@@ -1,0 +1,107 @@
+"""Tests for the syncer daemon: sweeps, mark-then-write, workitems."""
+
+import pytest
+
+from tests.cache.conftest import CacheRig
+
+
+@pytest.fixture
+def rig():
+    return CacheRig(syncer=True)
+
+
+def dirty_one(rig, daddr, value=0x33):
+    def body():
+        buf = yield from rig.cache.getblk(daddr, 1024)
+        buf.data[:] = bytes([value]) * 1024
+        rig.cache.bdwrite(buf)
+
+    rig.run(body())
+
+
+def run_for(rig, seconds):
+    rig.engine.run(until=rig.engine.now + seconds, max_events=1_000_000)
+
+
+def test_dirty_block_flushed_within_mark_write_window(rig):
+    dirty_one(rig, 10)
+    # 2 sweep passes: marked within 2s, written 1s later, plus I/O time
+    run_for(rig, 4.0)
+    assert rig.disk.storage.read(20, 2) == b"\x33" * 1024
+    assert not rig.cache.peek(10).dirty
+
+
+def test_mark_then_write_needs_two_wakeups(rig):
+    dirty_one(rig, 0)  # region 0, marked on the first sweep that hits it
+    run_for(rig, 1.5)  # one wakeup: marked but not yet written
+    assert rig.disk.stats.writes == 0
+    run_for(rig, 1.1)  # second wakeup: write initiated
+    run_for(rig, 0.5)
+    assert rig.disk.stats.writes == 1
+
+
+def test_redirtied_block_flushes_again(rig):
+    dirty_one(rig, 10, value=1)
+    run_for(rig, 4.0)
+    dirty_one(rig, 10, value=2)
+    run_for(rig, 4.0)
+    assert rig.disk.storage.read(20, 2) == b"\x02" * 1024
+    assert rig.disk.stats.writes == 2
+
+
+def test_nonblocking_workitem_runs_within_interval(rig):
+    ran = []
+    rig.syncer.add_workitem(lambda: ran.append(rig.engine.now))
+    run_for(rig, 1.5)
+    assert ran and ran[0] <= 1.0 + 1e-9
+
+
+def test_blocking_workitem_can_do_io(rig):
+    rig.disk.write_now(40, b"\xaa" * 1024)
+    seen = []
+
+    def work():
+        buf = yield from rig.cache.bread(20, 1024)
+        seen.append(bytes(buf.data))
+        rig.cache.brelse(buf)
+
+    rig.syncer.add_workitem(work, blocking=True)
+    run_for(rig, 2.0)
+    assert seen == [b"\xaa" * 1024]
+
+
+def test_workitem_added_by_workitem_runs_next_wakeup(rig):
+    log = []
+
+    def second():
+        log.append(("second", rig.syncer.wakeups))
+
+    def first():
+        log.append(("first", rig.syncer.wakeups))
+        rig.syncer.add_workitem(second)
+
+    rig.syncer.add_workitem(first)
+    run_for(rig, 3.5)
+    assert log == [("first", 1), ("second", 2)]
+
+
+def test_busy_buffer_retried_not_dropped(rig):
+    eng = rig.engine
+
+    def hold_long():
+        buf = yield from rig.cache.getblk(10, 1024)
+        buf.data[:] = b"\x66" * 1024
+        buf.mark_dirty(eng.now)
+        # hold across several sweeps so flush attempts find it busy
+        yield eng.timeout(5.0)
+        rig.cache.bdwrite(buf)
+
+    eng.process(hold_long())
+    run_for(rig, 10.0)
+    assert rig.disk.storage.read(20, 2) == b"\x66" * 1024
+
+
+def test_invalid_sweep_passes_rejected():
+    with pytest.raises(ValueError):
+        CacheRig(syncer=True).syncer.__class__(
+            CacheRig().engine, CacheRig().cache, sweep_passes=0)

@@ -1,0 +1,125 @@
+"""Integration tests for the Disk drive model."""
+
+import pytest
+
+from repro.disk import Disk, DiskGeometry, DiskParameters
+from repro.sim import Engine
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def disk(eng):
+    return Disk(eng)
+
+
+def run_io(eng, disk, lbn, nsectors, is_write, data=None):
+    def op():
+        service = yield from disk.service(lbn, nsectors, is_write, data)
+        return service
+
+    return eng.run_until(eng.process(op()))
+
+
+def test_write_persists_to_storage(eng, disk):
+    data = b"\x5a" * 512
+    run_io(eng, disk, 42, 1, True, data)
+    assert disk.storage.read(42) == data
+
+
+def test_read_returns_no_data_but_caches(eng, disk):
+    run_io(eng, disk, 42, 4, False)
+    assert disk.cache.lookup(42, 4)
+
+
+def test_service_time_within_mechanical_bounds(eng, disk):
+    service = run_io(eng, disk, 500_000, 16, True, b"\x00" * (16 * 512))
+    params, geo = disk.params, disk.geometry
+    minimum = params.controller_overhead + params.transfer_time(geo, 16)
+    maximum = (params.controller_overhead + params.seek_time(0, geo.cylinders)
+               + params.rotation_time + params.transfer_time(geo, 16))
+    assert minimum <= service <= maximum
+
+
+def test_cache_hit_read_much_faster_than_media_read(eng, disk):
+    first = run_io(eng, disk, 10_000, 8, False)
+    second = run_io(eng, disk, 10_000, 8, False)
+    assert second < first / 3
+    assert disk.stats.cache_hit_reads == 1
+
+
+def test_sequential_reads_hit_prefetch(eng, disk):
+    run_io(eng, disk, 1000, 8, False)
+    follow_on = run_io(eng, disk, 1008, 8, False)
+    params, geo = disk.params, disk.geometry
+    assert follow_on < params.controller_overhead + params.bus_time(geo, 8) + 1e-9
+
+
+def test_write_invalidates_onboard_cache(eng, disk):
+    run_io(eng, disk, 1000, 8, False)
+    run_io(eng, disk, 1002, 1, True, b"\xff" * 512)
+    assert not disk.cache.lookup(1000, 8)
+
+
+def test_same_cylinder_access_cheaper_than_far_seek(eng, disk):
+    run_io(eng, disk, 0, 1, True, b"\x00" * 512)
+    near = run_io(eng, disk, 4, 1, True, b"\x00" * 512)
+    # re-home then long seek
+    disk._current_cylinder = 0
+    far = run_io(eng, disk, disk.geometry.total_sectors - 100, 1, True,
+                 b"\x00" * 512)
+    assert near < far
+
+
+def test_instant_mode_is_free_and_persistent(eng, disk):
+    disk.instant = True
+    service = run_io(eng, disk, 9, 1, True, b"\x77" * 512)
+    assert service == 0.0
+    assert eng.now == 0.0
+    assert disk.storage.read(9) == b"\x77" * 512
+
+
+def test_write_without_data_rejected(eng, disk):
+    with pytest.raises(Exception):
+        run_io(eng, disk, 0, 1, True, None)
+
+
+def test_wrong_size_data_rejected(eng, disk):
+    with pytest.raises(Exception):
+        run_io(eng, disk, 0, 2, True, b"\x00" * 512)
+
+
+def test_stats_accumulate(eng, disk):
+    run_io(eng, disk, 0, 1, True, b"\x00" * 512)
+    run_io(eng, disk, 100, 2, False)
+    assert disk.stats.writes == 1
+    assert disk.stats.reads == 1
+    assert disk.stats.sectors_written == 1
+    assert disk.stats.sectors_read == 2
+    assert disk.stats.busy_time > 0
+    assert len(disk.stats.service_times) == 2
+
+
+def test_in_flight_exposed_during_write_transfer(eng, disk):
+    observed = []
+
+    def op():
+        yield from disk.service(0, 72, True, b"\x01" * (72 * 512))
+
+    def spy():
+        # sample mid-way through the (at least one revolution) transfer
+        yield eng.timeout(disk.params.controller_overhead
+                          + disk.params.rotation_time * 1.2)
+        observed.append(disk.in_flight)
+
+    writer = eng.process(op())
+    eng.process(spy())
+    eng.run_until(writer)
+    assert disk.in_flight is None
+    assert observed and observed[0] is not None
+    applied = observed[0].sectors_applied_by(
+        observed[0].transfer_start + 10 * observed[0].sector_period, 512)
+    assert applied == 10

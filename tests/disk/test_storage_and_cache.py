@@ -1,0 +1,115 @@
+"""Unit tests for the sector store and on-board prefetch cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk import DiskGeometry, SectorStore
+from repro.disk.cache import PrefetchCache
+
+
+@pytest.fixture
+def store():
+    return SectorStore(DiskGeometry())
+
+
+class TestSectorStore:
+    def test_holes_read_as_zeros(self, store):
+        assert store.read(100) == bytes(512)
+
+    def test_write_read_roundtrip(self, store):
+        payload = bytes(range(256)) * 2
+        store.write(7, payload)
+        assert store.read(7) == payload
+
+    def test_multisector_roundtrip(self, store):
+        payload = b"\xab" * (512 * 3)
+        store.write(10, payload)
+        assert store.read(10, 3) == payload
+        assert store.read(11) == b"\xab" * 512
+
+    def test_unaligned_write_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.write(0, b"short")
+
+    def test_out_of_range_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.read(store.geometry.total_sectors, 1)
+        with pytest.raises(ValueError):
+            store.read(0, 0)
+
+    def test_partial_write_applies_prefix_only(self, store):
+        data = b"\x01" * 512 + b"\x02" * 512 + b"\x03" * 512
+        store.write_partial(50, data, 2)
+        assert store.read(50) == b"\x01" * 512
+        assert store.read(51) == b"\x02" * 512
+        assert store.read(52) == bytes(512)
+
+    def test_snapshot_is_independent(self, store):
+        store.write(0, b"\x11" * 512)
+        snap = store.snapshot()
+        store.write(0, b"\x22" * 512)
+        assert snap.read(0) == b"\x11" * 512
+        assert store.read(0) == b"\x22" * 512
+
+    @given(st.lists(st.tuples(st.integers(0, 1000),
+                              st.binary(min_size=512, max_size=512)),
+                    max_size=20))
+    def test_last_write_wins(self, writes):
+        store = SectorStore(DiskGeometry())
+        expected = {}
+        for lbn, data in writes:
+            store.write(lbn, data)
+            expected[lbn] = data
+        for lbn, data in expected.items():
+            assert store.read(lbn) == data
+
+
+class TestPrefetchCache:
+    def test_miss_then_hit_after_insert(self):
+        cache = PrefetchCache(segments=2, prefetch_sectors=8)
+        assert not cache.lookup(100, 4)
+        cache.insert_after_read(100, 4)
+        assert cache.lookup(100, 4)
+
+    def test_prefetch_extends_coverage(self):
+        cache = PrefetchCache(segments=2, prefetch_sectors=8)
+        cache.insert_after_read(100, 4)
+        assert cache.lookup(104, 8)       # the prefetched run
+        assert not cache.lookup(104, 9)   # beyond it
+
+    def test_sequential_reads_extend_segment(self):
+        cache = PrefetchCache(segments=1, prefetch_sectors=4)
+        cache.insert_after_read(0, 4)
+        cache.insert_after_read(4, 4)
+        assert cache.segments == [(0, 12)]
+
+    def test_lru_eviction(self):
+        cache = PrefetchCache(segments=2, prefetch_sectors=0)
+        cache.insert_after_read(0, 4)
+        cache.insert_after_read(100, 4)
+        cache.insert_after_read(200, 4)   # evicts the (0,4) segment
+        assert not cache.lookup(0, 4)
+        assert cache.lookup(100, 4)
+        assert cache.lookup(200, 4)
+
+    def test_write_invalidates_overlap(self):
+        cache = PrefetchCache(segments=2, prefetch_sectors=0)
+        cache.insert_after_read(10, 10)
+        cache.invalidate(15, 1)
+        assert not cache.lookup(10, 4)
+
+    def test_write_elsewhere_keeps_segment(self):
+        cache = PrefetchCache(segments=2, prefetch_sectors=0)
+        cache.insert_after_read(10, 10)
+        cache.invalidate(50, 4)
+        assert cache.lookup(10, 10)
+
+    def test_zero_segments_never_hits(self):
+        cache = PrefetchCache(segments=0)
+        cache.insert_after_read(0, 4)
+        assert not cache.lookup(0, 1)
+
+    def test_prefetch_clipped_at_disk_end(self):
+        cache = PrefetchCache(segments=1, prefetch_sectors=100, total_sectors=110)
+        cache.insert_after_read(100, 5)
+        assert cache.segments == [(100, 110)]

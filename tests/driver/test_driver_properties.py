@@ -1,0 +1,115 @@
+"""Property-based driver tests: ordering invariants under random traffic."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.disk import Disk
+from repro.driver import ChainsPolicy, DeviceDriver, FlagPolicy, FlagSemantics
+from repro.sim import Engine
+
+
+def random_traffic(draw_ops, policy_factory):
+    """Replay a drawn op list against a fresh driver; return the trace."""
+    engine = Engine()
+    driver = DeviceDriver(engine, Disk(engine), policy_factory())
+    issued = []
+    for op in draw_ops:
+        kind, lbn_step, nsectors, flagged, dep_back = op
+        lbn = (7919 * lbn_step) % 500_000
+        if kind == "read":
+            issued.append(driver.read(lbn, nsectors))
+        else:
+            deps = None
+            if dep_back and issued:
+                wants = issued[max(0, len(issued) - dep_back):]
+                deps = frozenset(r.id for r in wants if r.is_write)
+            issued.append(driver.write(lbn, b"\x5c" * (512 * nsectors),
+                                       flag=flagged,
+                                       depends_on=deps or None))
+    for request in issued:
+        engine.run_until(request.done, max_events=2_000_000)
+    return driver.trace
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["read", "write", "write"]),
+              st.integers(0, 1000), st.sampled_from([2, 8, 16]),
+              st.booleans(), st.integers(0, 3)),
+    min_size=1, max_size=40)
+
+
+class TestFlagInvariants:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy)
+    def test_part_semantics_hold_in_completion_order(self, ops):
+        """No request issued after a flagged write completes before it."""
+        trace = random_traffic(ops, lambda: FlagPolicy(FlagSemantics.PART))
+        for flagged in (r for r in trace if r.flag):
+            for other in trace:
+                if other.id > flagged.id:
+                    assert other.dispatch_time >= flagged.complete_time - 1e-9
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy)
+    def test_full_semantics_barrier_both_ways(self, ops):
+        trace = random_traffic(ops, lambda: FlagPolicy(FlagSemantics.FULL))
+        for flagged in (r for r in trace if r.flag):
+            for other in trace:
+                if other.id > flagged.id:
+                    assert other.dispatch_time >= flagged.complete_time - 1e-9
+                elif other.id < flagged.id:
+                    assert flagged.dispatch_time >= other.complete_time - 1e-9
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy)
+    def test_nr_reads_never_conflict(self, ops):
+        """With -NR, a read never dispatches while an older overlapping
+        write is incomplete."""
+        trace = random_traffic(
+            ops, lambda: FlagPolicy(FlagSemantics.PART, read_bypass=True))
+        for read in (r for r in trace if not r.is_write):
+            for write in (r for r in trace if r.is_write):
+                if write.id < read.id and write.overlaps(read.lbn,
+                                                         read.nsectors):
+                    assert read.dispatch_time >= write.complete_time - 1e-9
+
+
+class TestChainsInvariants:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy)
+    def test_dependencies_complete_before_dispatch(self, ops):
+        trace = random_traffic(ops, ChainsPolicy)
+        by_id = {r.id: r for r in trace}
+        for request in trace:
+            for dep in request.depends_on:
+                assert by_id[dep].complete_time <= request.dispatch_time + 1e-9
+
+
+class TestUniversalInvariants:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy,
+           semantics=st.sampled_from(list(FlagSemantics)))
+    def test_overlapping_writes_complete_in_issue_order(self, ops, semantics):
+        """The driver's write FIFO holds under every policy."""
+        trace = random_traffic(ops, lambda: FlagPolicy(semantics))
+        writes = [r for r in trace if r.is_write]
+        for i, first in enumerate(writes):
+            for second in writes[i + 1:]:
+                if first.id < second.id and first.overlaps(second.lbn,
+                                                           second.nsectors):
+                    assert first.complete_time <= second.complete_time + 1e-9
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy)
+    def test_every_request_completes_with_sane_timestamps(self, ops):
+        trace = random_traffic(ops, lambda: FlagPolicy(FlagSemantics.IGNORE))
+        assert len(trace) == len(ops)
+        for request in trace:
+            assert 0 <= request.issue_time <= request.dispatch_time \
+                <= request.complete_time

@@ -1,0 +1,132 @@
+"""Unit tests for FFS directory chunk packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fs import directory as d
+from repro.fs.layout import FileType
+
+
+def fresh_dir(frag=1024):
+    data = bytearray(d.new_dir_contents(2, 2))
+    while len(data) < frag:
+        data += d.empty_chunk()
+    return data
+
+
+class TestFormat:
+    def test_new_dir_has_dot_and_dotdot(self):
+        entries = [e for e in d.iter_entries(fresh_dir()) if e.live]
+        assert [(e.name, e.ino) for e in entries] == [(".", 2), ("..", 2)]
+
+    def test_empty_chunk_has_one_dead_entry(self):
+        entries = list(d.iter_entries(d.empty_chunk()))
+        assert len(entries) == 1
+        assert not entries[0].live
+        assert entries[0].reclen == d.DIRBLKSIZ
+
+    def test_unaligned_data_rejected(self):
+        with pytest.raises(ValueError):
+            list(d.iter_entries(b"\x00" * 100))
+
+
+class TestAddLookup:
+    def test_add_then_lookup(self):
+        data = fresh_dir()
+        offset = d.add_entry(data, "hello.txt", 42, FileType.REGULAR)
+        assert offset is not None
+        entry, scanned = d.lookup(data, "hello.txt")
+        assert entry.ino == 42
+        assert entry.offset == offset
+        assert scanned >= 3
+
+    def test_lookup_miss_scans_everything(self):
+        data = fresh_dir()
+        entry, scanned = d.lookup(data, "absent")
+        assert entry is None
+        assert scanned == len(list(d.iter_entries(data)))
+
+    def test_fills_up_and_returns_none(self):
+        data = bytearray(d.empty_chunk())
+        count = 0
+        while d.add_entry(data, f"file{count:03d}", 100 + count,
+                          FileType.REGULAR) is not None:
+            count += 1
+        assert count == d.DIRBLKSIZ // d.entry_bytes(7)
+        assert d.add_entry(data, "onemore", 999, FileType.REGULAR) is None
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError):
+            d.add_entry(fresh_dir(), "", 1, FileType.REGULAR)
+        with pytest.raises(ValueError):
+            d.add_entry(fresh_dir(), "x" * 300, 1, FileType.REGULAR)
+
+    def test_base_offset_shifts_reported_offsets(self):
+        data = fresh_dir()
+        entry, _ = d.lookup(data, ".", base_offset=2048)
+        assert entry.offset == 2048
+
+
+class TestRemove:
+    def test_remove_mid_chunk_merges_into_predecessor(self):
+        data = fresh_dir()
+        offset = d.add_entry(data, "victim", 42, FileType.REGULAR)
+        assert d.remove_entry(data, offset) == 42
+        entry, _ = d.lookup(data, "victim")
+        assert entry is None
+        # space is reusable
+        assert d.add_entry(data, "reborn", 43, FileType.REGULAR) is not None
+
+    def test_remove_chunk_head_zeroes_ino(self):
+        chunk = bytearray(d.format_chunk([(7, "head", FileType.REGULAR),
+                                          (8, "tail", FileType.REGULAR)]))
+        head = next(iter(d.iter_entries(chunk)))
+        d.remove_entry(chunk, head.offset)
+        assert d.entry_ino(chunk, 0) == 0
+        entry, _ = d.lookup(chunk, "tail")
+        assert entry.ino == 8
+
+    def test_remove_dead_entry_rejected(self):
+        data = fresh_dir()
+        with pytest.raises(ValueError):
+            d.remove_entry(data, 512)  # the empty second chunk
+
+    def test_is_empty_dir(self):
+        data = fresh_dir()
+        assert d.is_empty_dir(data)
+        offset = d.add_entry(data, "child", 9, FileType.REGULAR)
+        assert not d.is_empty_dir(data)
+        d.remove_entry(data, offset)
+        assert d.is_empty_dir(data)
+
+
+class TestUndoRedo:
+    def test_set_entry_ino_round_trip(self):
+        data = fresh_dir()
+        offset = d.add_entry(data, "pending", 77, FileType.REGULAR)
+        d.set_entry_ino(data, offset, 0)        # undo (rollback for disk write)
+        entry, _ = d.lookup(data, "pending")
+        assert entry is None
+        d.set_entry_ino(data, offset, 77)       # redo
+        entry, _ = d.lookup(data, "pending")
+        assert entry.ino == 77
+
+
+@given(st.lists(st.text(alphabet="abcdefgh", min_size=1, max_size=12),
+                min_size=1, max_size=30, unique=True))
+def test_add_remove_random_names_property(names):
+    data = bytearray(d.empty_chunk() * 4)
+    offsets = {}
+    for name in names:
+        offset = d.add_entry(data, name, 100 + len(offsets), FileType.REGULAR)
+        if offset is None:
+            break
+        offsets[name] = offset
+    # every added name is findable, then removable, leaving an empty dir
+    for name in offsets:
+        entry, _ = d.lookup(data, name)
+        assert entry is not None and entry.offset == offsets[name]
+    for name in offsets:
+        entry, _ = d.lookup(data, name)
+        d.remove_entry(data, entry.offset)
+    assert d.is_empty_dir(data)

@@ -1,0 +1,19 @@
+"""Smoke test for the ``python -m repro.harness`` entry point."""
+
+import subprocess
+import sys
+
+
+def test_cli_prints_both_tables():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.harness", "0.02"],
+        capture_output=True, text=True, timeout=600)
+    assert completed.returncode == 0, completed.stderr[-500:]
+    out = completed.stdout
+    assert "4-user copy" in out
+    assert "4-user remove" in out
+    for scheme in ("Conventional", "Scheduler Flag", "Scheduler Chains",
+                   "Soft Updates", "No Order"):
+        # one row at line start in each of the two tables (the '% of No
+        # Order' header also mentions No Order, hence the newline anchor)
+        assert out.count(f"\n{scheme}") == 2

@@ -1,0 +1,76 @@
+"""Tests for metric collection and the table formatters."""
+
+import pytest
+
+from repro.harness.metrics import RunResult, collect
+from repro.harness.report import format_series, format_table
+from tests.conftest import make_machine, run_user
+
+
+class TestCollect:
+    def test_window_excludes_setup_requests(self):
+        machine = make_machine("conventional")
+
+        def setup():
+            yield from machine.fs.write_file("/setup", b"s" * 4096)
+            yield from machine.fs.sync()
+
+        run_user(machine, setup())
+        mark = machine.driver.last_issued_id
+
+        def benchmark():
+            yield from machine.fs.write_file("/bench", b"b" * 4096)
+            yield from machine.fs.sync()
+
+        process = machine.engine.process(benchmark(), name="bench")
+        machine.engine.run_until(process, max_events=5_000_000)
+        result = collect(machine, [process], mark)
+        assert 0 < result.disk_requests < machine.driver.requests_issued
+        assert result.elapsed > 0
+        assert result.reads + result.writes == result.disk_requests
+
+    def test_cpu_time_sums_users(self):
+        machine = make_machine("noorder", free_cpu=False)
+
+        def worker():
+            yield from machine.fs.write_file("/c", b"c" * 10000)
+
+        procs = [machine.engine.process(worker(), name="a")]
+        machine.engine.run_all(procs, max_events=5_000_000)
+        result = collect(machine, procs, 0)
+        assert result.cpu_time == pytest.approx(procs[0].cpu_time)
+
+    def test_empty_window(self):
+        machine = make_machine("noorder")
+        result = collect(machine, [], machine.driver.last_issued_id)
+        assert result.disk_requests == 0
+        assert result.elapsed == 0.0
+
+
+class TestRunResult:
+    def test_as_row_mixes_fields_and_extras(self):
+        result = RunResult(scheme="X", elapsed=1.5)
+        result.extra["throughput"] = 42
+        assert result.as_row(["scheme", "elapsed", "throughput"]) \
+            == ["X", 1.5, 42]
+
+
+class TestFormatters:
+    def test_format_table_aligns(self):
+        text = format_table("T", ["a", "long-header"],
+                            [[1, 2.5], ["xyz", 10000.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned
+
+    def test_format_series_column_per_scheme(self):
+        text = format_series("S", "x", [1, 2],
+                             {"A": [10.0, 20.0], "B": [30.0, 40.0]})
+        assert "A" in text and "B" in text
+        assert "30.0" in text
+
+    def test_float_formatting_rules(self):
+        text = format_table("F", ["v"], [[0.123456], [12.34], [12345.6]])
+        assert "0.123" in text
+        assert "12.3" in text
+        assert "12346" in text

@@ -1,0 +1,178 @@
+"""Unit tests for the soft updates dependency manager internals."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fs.layout import Dinode
+from tests.conftest import make_machine, run_user
+
+
+@pytest.fixture
+def m():
+    return make_machine("softupdates")
+
+
+def manager(m):
+    return m.scheme.manager
+
+
+class TestTracking:
+    def test_tracked_buffers_are_pinned(self, m):
+        def user():
+            yield from m.fs.write_file("/f", b"x" * 1024)
+
+        run_user(m, user())
+        mgr = manager(m)
+        assert mgr.tracked, "creates must leave tracked buffers"
+        for tracked in mgr.tracked.values():
+            assert tracked.buf.hold_count >= 1
+
+    def test_untracked_and_unpinned_after_drain(self, m):
+        def user():
+            yield from m.fs.write_file("/f", b"x" * 1024)
+            yield from m.fs.sync()
+
+        run_user(m, user())
+        mgr = manager(m)
+        assert not mgr.tracked
+        assert mgr.pending() == 0
+        for buf in m.cache._buffers.values():
+            assert buf.hold_count == 0
+
+    def test_dependency_counters(self, m):
+        def user():
+            yield from m.fs.write_file("/f", b"x" * 1024)
+
+        run_user(m, user())
+        mgr = manager(m)
+        assert mgr.deps_created >= 2  # allocdirect + diradd at least
+        assert mgr.pending() > 0
+
+
+class TestInodeRollback:
+    def test_pointer_rolled_back_until_data_written(self, m):
+        def user():
+            yield from m.fs.write_file("/f", b"x" * 1024)
+
+        run_user(m, user())
+        geo = m.fs.geometry
+        ino = max(i.ino for i in m.fs.itable.values())
+        ibuf = m.cache.peek(geo.inode_block_daddr(ino))
+        # flush only the inode block: the new pointer must be undone
+        m.cache.start_flush(ibuf)
+        run_user(m, m.driver.drain(), name="drain")
+        raw = m.disk.storage.read(geo.inode_block_daddr(ino) * 2, 16)
+        at = geo.inode_offset_in_block(ino)
+        din = Dinode.unpack(raw[at:at + 128])
+        assert din.allocated  # the inode itself is there (mode, nlink)
+        assert din.direct[0] == 0  # but the block pointer is rolled back
+        assert din.size == 0  # and the size with it
+        # in-core state is untouched
+        live = m.fs.itable.get_cached(ino)
+        assert live.din.direct[0] != 0 and live.din.size == 1024
+
+    def test_pointer_lands_after_data_written(self, m):
+        def user():
+            yield from m.fs.write_file("/f", b"x" * 1024)
+            yield from m.fs.sync()
+
+        run_user(m, user())
+        geo = m.fs.geometry
+        report_raw = m.disk.storage.read(
+            geo.inode_block_daddr(3) * 2, 16)
+        # find the file inode in the block: exactly one with size 1024
+        sizes = [Dinode.unpack(report_raw[at:at + 128]).size
+                 for at in range(0, 8192, 128)]
+        assert 1024 in sizes
+
+
+class TestWorkitems:
+    def test_remove_defers_drop_link_to_workitem(self, m):
+        def setup():
+            yield from m.fs.write_file("/f", b"x")
+            yield from m.fs.sync()
+
+        run_user(m, setup())
+        ino = max(i.ino for i in m.fs.itable.values())
+        ip = m.fs.itable.get_cached(ino)
+
+        def remove():
+            yield from m.fs.unlink("/f")
+
+        run_user(m, remove())
+        # the link count is NOT yet decremented (deferred)
+        assert ip.din.nlink == 1
+        assert m.scheme.pending_work() > 0
+        run_user(m, m.fs.sync(), name="sync")
+        assert ip.deleted
+
+    def test_daemon_services_workitems_over_time(self, m):
+        def setup():
+            yield from m.fs.write_file("/f", b"x")
+            yield from m.fs.sync()
+            yield from m.fs.unlink("/f")
+
+        run_user(m, setup())
+        # each link of the chain (dir write -> drop_link -> inode write ->
+        # bitmap free) can wait a full sweep cycle; give it several
+        m.engine.run(until=m.engine.now + 50.0, max_events=2_000_000)
+        assert m.scheme.pending_work() == 0
+        assert not m.cache.dirty_buffers()
+
+
+class TestIndirectDependencies:
+    def test_indirect_block_rollback(self, m):
+        geo = m.fs.geometry
+        size = (geo.NDADDR + 2) * geo.block_size
+
+        def user():
+            yield from m.fs.write_file("/big", b"b" * size)
+
+        run_user(m, user())
+        assert manager(m).indirdeps or manager(m).pending() > 0
+
+        def finish():
+            yield from m.fs.sync()
+
+        run_user(m, finish(), name="sync")
+        assert manager(m).pending() == 0
+        # and the file reads back fine cold
+        m.drop_caches()
+
+        def reader():
+            data = yield from m.fs.read_file("/big")
+            return len(data)
+
+        assert run_user(m, reader()) == size
+
+
+class TestConvergence:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 999))
+    def test_random_churn_always_drains(self, seed):
+        import random
+        m = make_machine("softupdates")
+        rng = random.Random(seed)
+
+        def user():
+            live = []
+            for step in range(25):
+                if rng.random() < 0.55 or not live:
+                    path = f"/f{step}"
+                    yield from m.fs.write_file(
+                        path, b"c" * rng.choice([200, 1500, 9000]))
+                    live.append(path)
+                else:
+                    yield from m.fs.unlink(
+                        live.pop(rng.randrange(len(live))))
+            yield from m.fs.sync()
+
+        run_user(m, user())
+        assert m.scheme.pending_work() == 0
+        assert not m.cache.dirty_buffers()
+        from repro.integrity import fsck
+        from tests.conftest import SMALL_GEOMETRY
+        report = fsck(m.disk.storage, SMALL_GEOMETRY)
+        assert report.clean and not report.warnings, (report.errors,
+                                                      report.warnings)

@@ -1,0 +1,84 @@
+"""Regression tests for subtle soft-updates timing bugs."""
+
+from tests.conftest import make_machine, run_user
+
+
+def test_dependency_recorded_while_buffer_write_in_flight():
+    """A buffer can acquire its first dependency while an earlier write of
+    it is already on the media.  That write was snapshotted before tracking,
+    so its completion must satisfy nothing (regression: the post-write hook
+    popped an empty in-flight queue, killing the driver process and
+    livelocking the whole machine).
+    """
+    m = make_machine("softupdates")
+
+    def setup():
+        yield from m.fs.write_file("/a", b"a" * 512)
+        yield from m.fs.sync()
+        # dirty the (now untracked) inode block with a plain update
+        handle = yield from m.fs.open("/a")
+        yield from m.fs.close(handle)
+
+    run_user(m, setup())
+    geo = m.fs.geometry
+    ino = max(i.ino for i in m.fs.itable.values())
+    ibuf = m.cache.peek(geo.inode_block_daddr(ino))
+    assert ibuf is not None and ibuf.dirty
+    request = m.cache.start_flush(ibuf)
+    assert request is not None
+
+    # while that write is in flight, create a file whose inode lives in the
+    # same block: record_add tracks the buffer mid-flight
+    def racer():
+        yield from m.fs.write_file("/b", b"b" * 512)
+        yield from m.fs.sync()
+        data = yield from m.fs.read_file("/b")
+        return data
+
+    assert run_user(m, racer()) == b"b" * 512
+    assert m.scheme.pending_work() == 0
+    from repro.integrity import fsck
+    from tests.conftest import SMALL_GEOMETRY
+    report = fsck(m.disk.storage, SMALL_GEOMETRY)
+    assert report.clean and not report.warnings
+
+
+def test_no_empty_dependency_anchors_accumulate():
+    """Dependency anchors must be reclaimed once their lists empty."""
+    m = make_machine("softupdates")
+
+    def churn():
+        for index in range(40):
+            yield from m.fs.write_file(f"/f{index}", b"x" * 1024)
+            yield from m.fs.unlink(f"/f{index}")
+        yield from m.fs.sync()
+
+    run_user(m, churn())
+    manager = m.scheme.manager
+    assert not manager.inodedeps
+    assert not manager.pagedeps
+    assert not manager.indirdeps
+    assert not manager.allocsafe
+    assert not manager.tracked
+
+
+def test_unawaited_process_crash_is_loud():
+    """A crashing daemon must surface at the engine, not deadlock."""
+    import pytest
+    from repro.sim import Engine, ProcessCrashed
+
+    eng = Engine()
+
+    def daemon():
+        yield eng.timeout(1.0)
+        raise RuntimeError("daemon bug")
+
+    eng.process(daemon())  # nobody joins it
+
+    def innocent():
+        yield eng.timeout(10.0)
+        return "done"
+
+    victim = eng.process(innocent())
+    with pytest.raises(ProcessCrashed, match="daemon bug"):
+        eng.run_until(victim)

@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event engine and events."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+class TestClock:
+    def test_starts_at_zero(self, eng):
+        assert eng.now == 0.0
+
+    def test_timeout_advances_clock(self, eng):
+        eng.timeout(2.5)
+        eng.run()
+        assert eng.now == 2.5
+
+    def test_run_until_absolute_time(self, eng):
+        eng.timeout(10.0)
+        eng.run(until=4.0)
+        assert eng.now == 4.0
+
+    def test_events_fire_in_time_order(self, eng):
+        order = []
+        eng.call_later(3.0, order.append, "c")
+        eng.call_later(1.0, order.append, "a")
+        eng.call_later(2.0, order.append, "b")
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self, eng):
+        order = []
+        for tag in range(5):
+            eng.call_later(1.0, order.append, tag)
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_step_on_empty_heap_raises(self, eng):
+        with pytest.raises(SimulationError):
+            eng.step()
+
+    def test_max_events_guard(self, eng):
+        def forever():
+            while True:
+                yield eng.timeout(1.0)
+
+        eng.process(forever())
+        with pytest.raises(SimulationError, match="max_events"):
+            eng.run(max_events=10)
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, eng):
+        ev = eng.event()
+
+        def waiter():
+            got = yield ev
+            return got
+
+        proc = eng.process(waiter())
+        eng.call_later(1.0, ev.succeed, 42)
+        assert eng.run_until(proc) == 42
+
+    def test_double_trigger_rejected(self, eng):
+        ev = eng.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+    def test_fail_raises_in_waiter(self, eng):
+        ev = eng.event()
+
+        def waiter():
+            with pytest.raises(ValueError):
+                yield ev
+            return "handled"
+
+        proc = eng.process(waiter())
+        eng.call_later(0.5, ev.fail, ValueError("boom"))
+        assert eng.run_until(proc) == "handled"
+
+    def test_fail_requires_exception(self, eng):
+        with pytest.raises(TypeError):
+            eng.event().fail("not an exception")
+
+    def test_negative_timeout_rejected(self, eng):
+        with pytest.raises(ValueError):
+            eng.timeout(-1.0)
+
+    def test_late_callback_on_processed_event_still_fires(self, eng):
+        ev = eng.event()
+        ev.succeed("v")
+        eng.run()
+        seen = []
+        ev._add_callback(lambda e: seen.append(e.value))
+        eng.run()
+        assert seen == ["v"]
+
+    def test_multiple_waiters_all_resume(self, eng):
+        ev = eng.event()
+        results = []
+
+        def waiter(tag):
+            value = yield ev
+            results.append((tag, value))
+
+        procs = [eng.process(waiter(i)) for i in range(3)]
+        ev.succeed("x")
+        eng.run_all(procs)
+        assert sorted(results) == [(0, "x"), (1, "x"), (2, "x")]
+
+
+class TestRunUntil:
+    def test_deadlock_detected(self, eng):
+        ev = eng.event()  # never triggered
+
+        def waiter():
+            yield ev
+
+        proc = eng.process(waiter())
+        with pytest.raises(SimulationError, match="deadlock|drained"):
+            eng.run_until(proc)
+
+    def test_returns_process_value(self, eng):
+        def worker():
+            yield eng.timeout(1.0)
+            return "done"
+
+        assert eng.run_until(eng.process(worker())) == "done"

@@ -1,0 +1,39 @@
+"""Unit tests for the CPU cost model."""
+
+import pytest
+
+from repro.costs import CostModel
+
+
+def test_scale_multiplies_everything():
+    live = CostModel(scale=1.0)
+    free = CostModel(scale=0.0)
+    double = CostModel(scale=2.0)
+    assert free.time("create") == 0.0
+    assert free.copy_bytes(10_000) == 0.0
+    assert double.time("create") == pytest.approx(2 * live.time("create"))
+    assert double.block_copy(8192) == pytest.approx(2 * live.block_copy(8192))
+
+
+def test_multiplier_applies_per_occurrence():
+    costs = CostModel()
+    assert costs.time("dirent_scan", 100) \
+        == pytest.approx(100 * costs.dirent_scan)
+
+
+def test_calibration_sanity_1994_ranges():
+    """The knobs stay in plausible 33 MHz i486 territory."""
+    costs = CostModel()
+    # a create is milliseconds, not micro- or full seconds
+    assert 0.002 < costs.create < 0.05
+    # byte copies land between 0.5 and 10 MB/s
+    assert 0.1e-6 < costs.copy_per_byte < 2e-6
+    # a syscall entry is tens of microseconds
+    assert 10e-6 < costs.syscall < 1e-3
+    # the -CB memcpy is cheaper per byte than a user copy
+    assert costs.block_copy_per_byte < costs.copy_per_byte
+
+
+def test_unknown_cost_name_raises():
+    with pytest.raises(AttributeError):
+        CostModel().time("warp_drive")

@@ -1,0 +1,120 @@
+"""Smoke/correctness tests for the benchmark workloads."""
+
+import pytest
+
+from repro.harness.runner import build_machine, standard_scheme_config
+from repro.workloads.andrew import PHASE_NAMES, run_andrew
+from repro.workloads.copybench import (
+    copy_tree_user,
+    populate_sources,
+    remove_tree_user,
+)
+from repro.workloads.microbench import run_microbench
+from repro.workloads.sdet import run_sdet
+from repro.workloads.trees import TreeSpec, file_bytes, tree_layout
+
+
+def small_machine(scheme="softupdates"):
+    from tests.conftest import SCHEME_FACTORIES
+    from repro.machine import Machine, MachineConfig
+    from repro.costs import CostModel
+    machine = Machine(MachineConfig(scheme=SCHEME_FACTORIES[scheme](),
+                                    costs=CostModel(),
+                                    cache_bytes=4 * 1024 * 1024))
+    machine.format()
+    return machine
+
+
+class TestCopyBench:
+    def test_copy_reproduces_source_bytes(self):
+        machine = small_machine()
+        spec = TreeSpec().scaled(0.03)
+        populate_sources(machine, users=1, spec=spec)
+        process = machine.spawn(copy_tree_user(machine, 0), name="user0")
+        machine.run(process, max_events=50_000_000)
+        _dirs, files = tree_layout(spec)
+
+        def verify():
+            for relative, size in files[:6]:
+                data = yield from machine.fs.read_file(f"/u0/tree/{relative}")
+                assert data == file_bytes(relative, size)
+            return True
+
+        assert machine.engine.run_until(
+            machine.engine.process(verify()), max_events=50_000_000)
+
+    def test_remove_empties_the_tree(self):
+        machine = small_machine()
+        spec = TreeSpec().scaled(0.03)
+        populate_sources(machine, users=1, spec=spec)
+        machine.run(machine.spawn(copy_tree_user(machine, 0)),
+                    max_events=50_000_000)
+        machine.run(machine.spawn(remove_tree_user(machine, 0)),
+                    max_events=50_000_000)
+
+        def verify():
+            names = yield from machine.fs.readdir("/u0")
+            return names
+
+        assert machine.engine.run_until(
+            machine.engine.process(verify()), max_events=50_000_000) == []
+
+
+class TestMicrobench:
+    @pytest.mark.parametrize("mode", ["create", "remove", "create_remove"])
+    def test_modes_run_and_report_throughput(self, mode):
+        machine = small_machine()
+        result = run_microbench(machine, users=2, total_files=40, mode=mode)
+        assert result.throughput > 0
+        assert result.files == 40
+        assert result.mode == mode
+
+    def test_throughput_definition(self):
+        machine = small_machine()
+        result = run_microbench(machine, users=1, total_files=20,
+                                mode="create")
+        assert result.throughput == pytest.approx(20 / result.elapsed)
+
+
+class TestAndrew:
+    def test_phases_measured_and_compile_dominates(self):
+        machine = small_machine()
+        result = run_andrew(machine, iterations=2, scale=0.2,
+                            compile_scale=0.2)
+        assert set(result.phases) == set(PHASE_NAMES)
+        for mean, std in result.phases.values():
+            assert mean >= 0 and std >= 0
+        total, _ = result.total
+        assert result.phases["compile"][0] > 0.4 * total
+
+    def test_iterations_are_independent_trees(self):
+        machine = small_machine()
+        run_andrew(machine, iterations=2, scale=0.2, compile_scale=0.1)
+
+        def verify():
+            names = yield from machine.fs.readdir("/")
+            return names
+
+        names = machine.engine.run_until(
+            machine.engine.process(verify()), max_events=50_000_000)
+        assert "run0" in names and "run1" in names
+
+
+class TestSdet:
+    def test_scripts_complete_and_clean_up(self):
+        machine = small_machine()
+        result = run_sdet(machine, scripts=2, commands_per_script=25)
+        assert result.scripts_per_hour > 0
+
+        def verify():
+            names = yield from machine.fs.readdir("/sdet0")
+            return names
+
+        assert machine.engine.run_until(
+            machine.engine.process(verify()), max_events=50_000_000) == []
+
+    def test_deterministic_per_seed(self):
+        results = [run_sdet(small_machine(), scripts=1,
+                            commands_per_script=20, seed=5).elapsed
+                   for _ in range(2)]
+        assert results[0] == results[1]

@@ -1,0 +1,65 @@
+"""Tests for the synthetic tree generator."""
+
+from repro.workloads.trees import TreeSpec, build_tree, file_bytes, tree_layout
+from tests.conftest import make_machine, run_user
+
+
+class TestLayout:
+    def test_deterministic(self):
+        spec = TreeSpec()
+        assert tree_layout(spec) == tree_layout(spec)
+
+    def test_different_seeds_differ(self):
+        a = tree_layout(TreeSpec(seed=1))
+        b = tree_layout(TreeSpec(seed=2))
+        assert a != b
+
+    def test_file_count_and_total_size(self):
+        spec = TreeSpec()
+        _dirs, files = tree_layout(spec)
+        assert len(files) == spec.files
+        total = sum(size for _p, size in files)
+        assert 0.9 * spec.total_bytes < total < 1.3 * spec.total_bytes
+
+    def test_parents_listed_before_children(self):
+        directories, _files = tree_layout(TreeSpec())
+        seen = set()
+        for path in directories:
+            parent = path.rsplit("/", 1)[0] if "/" in path else None
+            if parent is not None:
+                assert parent in seen
+            seen.add(path)
+
+    def test_scaled_shrinks_proportionally(self):
+        spec = TreeSpec().scaled(0.1)
+        assert spec.files == 53
+        assert 1_400_000 < spec.total_bytes < 1_500_000
+
+    def test_size_distribution_has_spread(self):
+        _dirs, files = tree_layout(TreeSpec())
+        sizes = sorted(size for _p, size in files)
+        assert sizes[-1] > 8 * sizes[len(sizes) // 2]  # heavy tail
+
+    def test_file_bytes_deterministic_and_sized(self):
+        assert file_bytes("a/b", 1000) == file_bytes("a/b", 1000)
+        assert len(file_bytes("a/b", 1000)) == 1000
+
+
+class TestBuild:
+    def test_build_tree_on_fs_matches_layout(self):
+        machine = make_machine("noorder")
+        spec = TreeSpec().scaled(0.05)
+
+        def builder():
+            yield from build_tree(machine.fs, "/src", spec)
+
+        run_user(machine, builder(), max_events=20_000_000)
+        _dirs, files = tree_layout(spec)
+
+        def verify():
+            for relative, size in files[:10]:
+                attrs = yield from machine.fs.stat(f"/src/{relative}")
+                assert attrs.size == size
+            return True
+
+        assert run_user(machine, verify(), max_events=20_000_000)
