@@ -76,6 +76,9 @@ class Disk:
         self.instant = False
         #: populated while a write transfer is on the media (crash injection)
         self.in_flight: Optional[InFlightWrite] = None
+        #: optional observer called with each InFlightWrite as its transfer
+        #: begins (the crash-exploration recorder enumerates boundaries here)
+        self.on_transfer_start = None
 
     # ------------------------------------------------------------------
     def service(self, lbn: int, nsectors: int, is_write: bool,
@@ -124,6 +127,8 @@ class Disk:
             self.in_flight = InFlightWrite(
                 lbn=lbn, data=data, transfer_start=self.engine.now,
                 sector_period=self.params.sector_period(self.geometry))
+            if self.on_transfer_start is not None:
+                self.on_transfer_start(self.in_flight)
             yield self.engine.timeout(transfer)
             self.in_flight = None
         else:

@@ -12,7 +12,7 @@ dynamics (the cache-full throttling of the copy benchmark) are preserved.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from repro.costs import CostModel
@@ -115,9 +115,22 @@ def build_machine(config: MachineConfig) -> Machine:
 # ----------------------------------------------------------------------
 # the copy / remove benchmarks
 # ----------------------------------------------------------------------
+def with_seed(tree: TreeSpec, seed: Optional[int]) -> TreeSpec:
+    """The same tree shape regenerated from an explicit RNG seed.
+
+    Crash exploration and failure reproduction need byte-for-byte identical
+    runs: the seed fully determines the tree layout, file sizes and
+    contents, and (because the simulator itself is deterministic) the whole
+    event trace.  ``None`` keeps the spec's own seed.
+    """
+    return tree if seed is None else replace(tree, seed=seed)
+
+
 def run_copy(config: MachineConfig, users: int, tree: TreeSpec,
-             label: str = "", settle: bool = True) -> RunResult:
+             label: str = "", settle: bool = True,
+             seed: Optional[int] = None) -> RunResult:
     """N-user copy: returns the table-1-style measurements."""
+    tree = with_seed(tree, seed)
     machine = build_machine(config)
     populate_sources(machine, users, tree)
     mark = machine.driver.last_issued_id
@@ -132,7 +145,8 @@ def run_copy(config: MachineConfig, users: int, tree: TreeSpec,
 
 def run_remove(config: MachineConfig, users: int, tree: TreeSpec,
                label: str = "", settle: bool = True,
-               cold_cache: bool = False) -> RunResult:
+               cold_cache: bool = False,
+               seed: Optional[int] = None) -> RunResult:
     """N-user remove: deletes freshly-copied trees.
 
     ``cold_cache=False`` models the paper's tables (the tree was "newly
@@ -141,6 +155,7 @@ def run_remove(config: MachineConfig, users: int, tree: TreeSpec,
     out of memory, so removal issues reads that interact with the ordered
     write queue.
     """
+    tree = with_seed(tree, seed)
     machine = build_machine(config)
 
     def builder():

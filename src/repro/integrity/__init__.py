@@ -11,8 +11,19 @@ inflated link counts, stale bitmaps).
 """
 
 from repro.integrity.crash import crash_image, CrashScheduler
+from repro.integrity.findings import CrashFinding, ExplorationReport
 from repro.integrity.fsck import FsckReport, fsck, repair
+from repro.integrity.invariants import (
+    INVARIANTS,
+    Invariant,
+    Severity,
+    Violation,
+    classify_report,
+    unexpected,
+)
 from repro.integrity.secrets import plant_secrets, find_secret_leaks
 
-__all__ = ["CrashScheduler", "FsckReport", "crash_image", "fsck",
-           "find_secret_leaks", "plant_secrets", "repair"]
+__all__ = ["CrashFinding", "CrashScheduler", "ExplorationReport",
+           "FsckReport", "INVARIANTS", "Invariant", "Severity", "Violation",
+           "classify_report", "crash_image", "fsck", "find_secret_leaks",
+           "plant_secrets", "repair", "unexpected"]

@@ -1,0 +1,339 @@
+"""Systematic crash-point exploration with parallel fsck verification.
+
+The paper's argument is that each ordering scheme keeps metadata
+recoverable after a power failure at *any* instant.  The legacy
+:class:`~repro.integrity.crash.CrashScheduler` samples a handful of
+hand-picked instants; this engine instead *enumerates* the interesting
+ones:
+
+1. **Record** -- run the victim workload once on an instrumented machine
+   (:func:`repro.harness.recording.record_run`) and collect every media
+   write transfer window, through natural quiescence (the background write
+   tail included).
+2. **Enumerate** -- every window contributes its start boundary (power
+   fails before any sector lands), its completion boundary (the whole
+   request is on the platters), and sampled mid-transfer instants (a
+   sector *prefix* survives, per the drive's per-sector ECC semantics in
+   ``crash_image``).  Every crash state any power failure could produce is
+   one of these, or identical to one of these: between boundaries the
+   platters do not change.
+3. **Verify** -- for each crash point, replay the workload from scratch on
+   a fresh machine (the simulation is deterministic: same seed, same
+   timeline), cut the power with :func:`~repro.integrity.crash.crash_image`,
+   run ``fsck`` on the survivor, and classify the outcome against the
+   declarative invariant set (:mod:`repro.integrity.invariants`) and the
+   scheme's own :class:`~repro.ordering.guarantees.CrashGuarantees`.
+
+Replays are independent, so step 3 fans out over a ``multiprocessing``
+pool; serial and parallel sweeps produce identical findings.
+
+CLI::
+
+    python -m repro.integrity.explorer --scheme softupdates \
+        --workload microbench --jobs 4
+
+Exit status is 0 when every crash state falls within the scheme's declared
+guarantees (for No Order that includes corruption -- it declares itself
+unsafe), 1 when a scheme broke its own declaration, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import random
+import sys
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.costs import CostModel
+from repro.fs.layout import FSGeometry
+from repro.harness.recording import RecordedRun, record_run
+from repro.integrity.crash import crash_image
+from repro.integrity.findings import CrashFinding, ExplorationReport
+from repro.integrity.fsck import fsck, repair
+from repro.integrity.invariants import (
+    Severity,
+    Violation,
+    classify_report,
+    invariant_by_key,
+    unexpected,
+)
+from repro.integrity.secrets import find_secret_leaks, plant_secrets
+from repro.machine import Machine, MachineConfig
+from repro.ordering import (
+    ConventionalScheme,
+    NoOrderScheme,
+    NvramScheme,
+    SchedulerChainsScheme,
+    SchedulerFlagScheme,
+    SoftUpdatesScheme,
+)
+from repro.workloads.churn import churn_workload, microbench_churn
+
+#: the exploration testbed: 2 cylinder groups, 256 inodes each, 2 MB data
+#: each -- small enough that a full sweep fscks hundreds of images fast
+EXPLORER_GEOMETRY = FSGeometry(ipg=256, dfrags_per_cg=2048, ncg=2)
+
+SCHEMES = {
+    "noorder": NoOrderScheme,
+    "conventional": ConventionalScheme,
+    "flag": SchedulerFlagScheme,
+    "chains": SchedulerChainsScheme,
+    "softupdates": SoftUpdatesScheme,
+    "nvram": NvramScheme,
+}
+
+
+def _microbench(machine: Machine, seed: int, ops: int) -> Generator:
+    return microbench_churn(machine, seed=seed, files=ops)
+
+
+def _churn(machine: Machine, seed: int, ops: int) -> Generator:
+    return churn_workload(machine, seed=seed, operations=ops)
+
+
+#: name -> (generator factory, default ops)
+WORKLOADS = {
+    "microbench": (_microbench, 24),
+    "churn": (_churn, 40),
+}
+
+
+def build_machine(scheme_name: str, secrets: bool = False) -> Machine:
+    """A formatted exploration machine (deterministic for a given name)."""
+    try:
+        scheme = SCHEMES[scheme_name]()
+    except KeyError:
+        raise ValueError(f"unknown scheme {scheme_name!r}; "
+                         f"choose from {sorted(SCHEMES)}") from None
+    config = MachineConfig(scheme=scheme,
+                           fs_geometry=EXPLORER_GEOMETRY,
+                           cache_bytes=2 * 1024 * 1024,
+                           costs=CostModel(scale=0.0))
+    machine = Machine(config)
+    machine.format()
+    if secrets:
+        plant_secrets(machine.disk.storage, EXPLORER_GEOMETRY)
+        machine.drop_caches()
+    return machine
+
+
+def build_workload(machine: Machine, workload_name: str, seed: int,
+                   ops: Optional[int]) -> Generator:
+    try:
+        factory, default_ops = WORKLOADS[workload_name]
+    except KeyError:
+        raise ValueError(f"unknown workload {workload_name!r}; "
+                         f"choose from {sorted(WORKLOADS)}") from None
+    return factory(machine, seed, ops if ops is not None else default_ops)
+
+
+# ----------------------------------------------------------------------
+# crash-point enumeration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashPoint:
+    """One instant worth pulling the plug at."""
+
+    index: int
+    time: float
+    label: str
+
+
+def enumerate_crash_points(recorded: RecordedRun,
+                           samples_per_write: int = 2,
+                           max_points: Optional[int] = None,
+                           sample_seed: int = 0) -> list[CrashPoint]:
+    """Every write's start/completion boundary + sampled partial prefixes.
+
+    A window of ``n`` sectors has ``n - 1`` distinct mid-transfer states
+    (``k`` sectors applied, ``0 < k < n``); ``samples_per_write`` of them
+    are taken at evenly spaced ``k`` (all of them when the window is small
+    enough).  When the full enumeration exceeds *max_points*, a
+    deterministic sample (seeded by *sample_seed*) is kept -- the budget is
+    explicit, never a silent truncation of the tail.
+    """
+    raw: list[tuple[float, str]] = []
+    for wi, window in enumerate(recorded.windows):
+        base = f"write {wi} (lbn {window.lbn}+{window.nsectors})"
+        raw.append((window.transfer_start, f"{base} start"))
+        if samples_per_write > 0 and window.nsectors > 1:
+            span = window.nsectors
+            cuts = sorted({
+                max(1, min(span - 1,
+                           round(j * span / (samples_per_write + 1))))
+                for j in range(1, samples_per_write + 1)})
+            for k in cuts:
+                raw.append((window.transfer_start
+                            + (k + 0.5) * window.sector_period,
+                            f"{base} after {k}/{span} sectors"))
+        raw.append((window.complete_time, f"{base} complete"))
+    if max_points is not None and len(raw) > max_points:
+        rng = random.Random(sample_seed)
+        keep = sorted(rng.sample(range(len(raw)), max_points))
+        raw = [raw[i] for i in keep]
+    return [CrashPoint(index, time, label)
+            for index, (time, label) in enumerate(raw)]
+
+
+# ----------------------------------------------------------------------
+# per-point verification (the pool worker)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Task:
+    """Everything a worker needs to rebuild and verify one crash state."""
+
+    scheme: str
+    workload: str
+    seed: int
+    ops: Optional[int]
+    secrets: bool
+    verify_repair: bool
+    index: int
+    crash_time: float
+    label: str
+
+
+def verify_crash_point(task: _Task) -> CrashFinding:
+    """Replay to the crash instant, fsck the survivor, classify."""
+    machine = build_machine(task.scheme, secrets=task.secrets)
+    workload = build_workload(machine, task.workload, task.seed, task.ops)
+    process = machine.engine.process(workload, name="victim")
+    machine.engine.run_to(task.crash_time, max_events=20_000_000)
+    if process.triggered and not process.ok:
+        raise process.value
+    image = crash_image(machine)
+    geometry = machine.config.fs_geometry
+    report = fsck(image, geometry)
+    leaks = find_secret_leaks(image, geometry) if task.secrets else []
+    violations = classify_report(report, leaks)
+    if task.verify_repair and not any(v.is_corruption for v in violations):
+        # the paper's recovery story: every error-free image must come out
+        # of classic fsck repair fully consistent
+        repaired = repair(image.snapshot(), geometry)
+        residue = repaired.errors + repaired.warnings
+        if residue:
+            inv = invariant_by_key("unrepairable")
+            violations.append(Violation(
+                inv.key, inv.severity,
+                f"repair left {len(residue)} findings: {residue[0]}"))
+    guarantees = machine.scheme.crash_guarantees
+    return CrashFinding(
+        index=task.index, crash_time=task.crash_time, label=task.label,
+        errors=len(report.errors), warnings=len(report.warnings),
+        violations=tuple(violations),
+        unexpected=tuple(unexpected(violations, guarantees)))
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+def explore(scheme: str, workload: str = "microbench", seed: int = 0,
+            ops: Optional[int] = None, jobs: int = 1,
+            samples_per_write: int = 2, max_points: Optional[int] = 240,
+            secrets: bool = False, verify_repair: bool = False,
+            points: Optional[list[CrashPoint]] = None) -> ExplorationReport:
+    """Record once, enumerate, verify every crash point; returns the report.
+
+    ``jobs > 1`` fans the verification out over a process pool.  Results
+    are deterministic in (scheme, workload, seed, ops, samples_per_write,
+    max_points) and independent of ``jobs``.
+    """
+    machine = build_machine(scheme, secrets=secrets)
+    recorded = record_run(machine,
+                          build_workload(machine, workload, seed, ops))
+    if points is None:
+        points = enumerate_crash_points(recorded, samples_per_write,
+                                        max_points, sample_seed=seed)
+    tasks = [_Task(scheme, workload, seed, ops, secrets, verify_repair,
+                   point.index, point.time, point.label)
+             for point in points]
+    if jobs > 1 and len(tasks) > 1:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        chunk = max(1, len(tasks) // (jobs * 4))
+        with context.Pool(jobs) as pool:
+            findings = pool.map(verify_crash_point, tasks, chunksize=chunk)
+    else:
+        findings = [verify_crash_point(task) for task in tasks]
+    return ExplorationReport(
+        scheme=scheme, workload=workload, seed=seed,
+        guarantees=machine.scheme.crash_guarantees, findings=findings,
+        quiesce_time=recorded.quiesce_time,
+        write_windows=len(recorded.windows))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.integrity.explorer",
+        description="Sweep every disk-write crash boundary of a workload "
+                    "and fsck each surviving image.")
+    parser.add_argument("--scheme", required=True, choices=sorted(SCHEMES))
+    parser.add_argument("--workload", default="microbench",
+                        choices=sorted(WORKLOADS))
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload RNG seed (findings name it)")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="workload size (files/operations; "
+                             "per-workload default)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, min(4, os.cpu_count() or 1)),
+                        help="verification pool size (default: up to 4)")
+    parser.add_argument("--samples-per-write", type=int, default=2,
+                        help="mid-transfer partial-prefix points per write")
+    parser.add_argument("--max-points", type=int, default=240,
+                        help="crash-point budget (0 = unlimited)")
+    parser.add_argument("--point", type=int, default=None,
+                        help="verify only this crash-point index "
+                             "(reproduce a reported finding)")
+    parser.add_argument("--secrets", action="store_true",
+                        help="plant deleted-data markers and check the "
+                             "allocation-initialization security hole")
+    parser.add_argument("--verify-repair", action="store_true",
+                        help="also require every error-free image to "
+                             "repair to a fully consistent state")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    max_points = None if args.max_points == 0 else args.max_points
+    points = None
+    if args.point is not None:
+        machine = build_machine(args.scheme, secrets=args.secrets)
+        recorded = record_run(
+            machine, build_workload(machine, args.workload, args.seed,
+                                    args.ops))
+        enumerated = enumerate_crash_points(recorded,
+                                            args.samples_per_write,
+                                            max_points,
+                                            sample_seed=args.seed)
+        matches = [p for p in enumerated if p.index == args.point]
+        if not matches:
+            print(f"no crash point with index {args.point} "
+                  f"(enumerated {len(enumerated)})", file=sys.stderr)
+            return 2
+        points = matches
+    report = explore(args.scheme, args.workload, seed=args.seed,
+                     ops=args.ops, jobs=args.jobs,
+                     samples_per_write=args.samples_per_write,
+                     max_points=max_points, secrets=args.secrets,
+                     verify_repair=args.verify_repair, points=points)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

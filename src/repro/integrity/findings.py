@@ -1,0 +1,149 @@
+"""Findings: what a crash-exploration sweep observed, aggregated.
+
+Every verified crash point yields one :class:`CrashFinding` (picklable, so
+pool workers can ship them back); :class:`ExplorationReport` aggregates a
+sweep and renders the human-readable summary the CLI prints.  A finding
+carries everything needed to reproduce it by hand: the scheme, workload,
+seed and the exact simulated crash instant (see docs/crash-exploration.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.integrity.invariants import Severity, Violation, invariant_by_key
+
+
+@dataclass(frozen=True)
+class CrashFinding:
+    """The outcome of fsck + invariant checking at one crash point."""
+
+    index: int
+    crash_time: float
+    label: str
+    errors: int
+    warnings: int
+    violations: tuple[Violation, ...]
+    #: violations the scheme's declaration does not permit
+    unexpected: tuple[Violation, ...]
+
+    @property
+    def corrupted(self) -> bool:
+        return any(v.severity is Severity.CORRUPTION for v in self.violations)
+
+
+@dataclass
+class ExplorationReport:
+    """One sweep: scheme x workload x seed over every enumerated point."""
+
+    scheme: str
+    workload: str
+    seed: int
+    guarantees: object
+    findings: list[CrashFinding] = field(default_factory=list)
+    #: recording metadata for reproduction
+    quiesce_time: float = 0.0
+    write_windows: int = 0
+
+    # -- aggregation -----------------------------------------------------
+    @property
+    def points(self) -> int:
+        return len(self.findings)
+
+    @property
+    def violation_counts(self) -> Counter:
+        """Per-invariant totals across all crash points."""
+        counts: Counter = Counter()
+        for finding in self.findings:
+            counts.update(v.key for v in finding.violations)
+        return counts
+
+    def points_violating(self, severity: Severity | None = None) -> list:
+        """Findings with >=1 violation (optionally of one severity)."""
+        return [finding for finding in self.findings
+                if any(severity is None or v.severity is severity
+                       for v in finding.violations)]
+
+    @property
+    def corruption_points(self) -> list[CrashFinding]:
+        return self.points_violating(Severity.CORRUPTION)
+
+    @property
+    def unexpected_findings(self) -> list[CrashFinding]:
+        return [finding for finding in self.findings if finding.unexpected]
+
+    @property
+    def clean(self) -> bool:
+        """The scheme honoured its declaration at every crash point."""
+        return not self.unexpected_findings
+
+    # -- rendering -------------------------------------------------------
+    def summary(self) -> str:
+        violating = self.points_violating()
+        return (f"{self.scheme} x {self.workload} (seed {self.seed}): "
+                f"{self.points} crash points, "
+                f"{len(violating)} with invariant violations "
+                f"({len(self.corruption_points)} corruption-class), "
+                f"{len(self.unexpected_findings)} outside the scheme's "
+                f"declaration")
+
+    def format(self, max_examples: int = 5) -> str:
+        lines = [self.summary(), ""]
+        counts = self.violation_counts
+        if counts:
+            lines.append("violations by invariant:")
+            for key, count in counts.most_common():
+                invariant = invariant_by_key(key)
+                lines.append(f"  {key:16s} {invariant.severity.value:10s} "
+                             f"x{count}")
+        else:
+            lines.append("no invariant violations at any crash point")
+        shown = 0
+        for finding in self.findings:
+            if not finding.violations or shown >= max_examples:
+                continue
+            shown += 1
+            lines.append("")
+            flag = " [UNEXPECTED]" if finding.unexpected else ""
+            lines.append(f"crash point #{finding.index} "
+                         f"t={finding.crash_time:.6f} ({finding.label})"
+                         f"{flag}:")
+            for violation in finding.violations[:4]:
+                lines.append(f"    {violation.severity.value}: "
+                             f"{violation.message}")
+            lines.append(f"    reproduce: --scheme {self.scheme} "
+                         f"--workload {self.workload} --seed {self.seed} "
+                         f"--point {finding.index}")
+        verdict = ("PASS: every crash state within the scheme's declaration"
+                   if self.clean else
+                   "FAIL: crash states outside the scheme's declaration")
+        lines += ["", verdict]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for the CLI's --json mode)."""
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "seed": self.seed,
+            "points": self.points,
+            "write_windows": self.write_windows,
+            "quiesce_time": self.quiesce_time,
+            "violation_counts": dict(self.violation_counts),
+            "clean": self.clean,
+            "findings": [
+                {
+                    "index": f.index,
+                    "crash_time": f.crash_time,
+                    "label": f.label,
+                    "errors": f.errors,
+                    "warnings": f.warnings,
+                    "violations": [
+                        {"key": v.key, "severity": v.severity.value,
+                         "message": v.message} for v in f.violations],
+                    "unexpected": len(f.unexpected),
+                }
+                for f in self.findings if f.violations
+            ],
+        }

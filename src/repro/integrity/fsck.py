@@ -289,8 +289,22 @@ def repair(image: SectorStore,
     checker.scan_inodes()
     checker.scan_directories()
 
-    orphans = {ino for ino in checker.report.inodes
-               if ino != ROOT_INO and not checker.report.references.get(ino)}
+    # orphan detection cascades: clearing an unreferenced directory removes
+    # its entries, which can orphan its children (and drops the '..'
+    # reference it contributed to its parent's link count)
+    orphans: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for ino in checker.report.inodes:
+            if ino == ROOT_INO or ino in orphans:
+                continue
+            live_refs = [dir_ino for dir_ino, _name
+                         in checker.report.references.get(ino, [])
+                         if dir_ino not in orphans]
+            if not live_refs:
+                orphans.add(ino)
+                changed = True
 
     def write_inode(ino: int, din: Dinode) -> None:
         daddr = geo.inode_block_daddr(ino)
@@ -300,12 +314,15 @@ def repair(image: SectorStore,
         block[at:at + 128] = din.pack()
         image.write(daddr * spf, bytes(block))
 
-    # fix link counts; clear orphans
+    # fix link counts (counting only references that survive the orphan
+    # sweep); clear orphans
     for ino, din in checker.report.inodes.items():
         if ino in orphans:
             write_inode(ino, Dinode())
             continue
-        refs = len(checker.report.references.get(ino, []))
+        refs = sum(1 for dir_ino, _name
+                   in checker.report.references.get(ino, [])
+                   if dir_ino not in orphans)
         if din.ftype is FileType.DIRECTORY:
             refs += 1
         if din.nlink != refs:

@@ -20,6 +20,7 @@ removal) and decides *how* the affected metadata reaches the disk:
 """
 
 from repro.ordering.base import AllocContext, OrderingScheme
+from repro.ordering.guarantees import CrashGuarantees
 from repro.ordering.noorder import NoOrderScheme
 from repro.ordering.conventional import ConventionalScheme
 from repro.ordering.schedflag import SchedulerFlagScheme
@@ -30,6 +31,7 @@ from repro.ordering.nvram import NvramScheme
 __all__ = [
     "AllocContext",
     "ConventionalScheme",
+    "CrashGuarantees",
     "NoOrderScheme",
     "NvramScheme",
     "OrderingScheme",

@@ -20,8 +20,10 @@ The three ordering rules the hooks exist to uphold (paper, section 1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.ordering.guarantees import SAFE_DEFAULT, CrashGuarantees
 
 if TYPE_CHECKING:
     from repro.cache.buffer import Buffer
@@ -66,6 +68,9 @@ class OrderingScheme:
     #: enforce allocation initialization for regular file data (tables 1-2
     #: compare each scheme with this on and off; soft updates defaults on)
     alloc_init = False
+    #: what a crash at an arbitrary instant may leave behind; verified by
+    #: the crash-exploration engine, never assumed
+    declared_guarantees: CrashGuarantees = SAFE_DEFAULT
 
     def __init__(self, alloc_init: Optional[bool] = None) -> None:
         if alloc_init is not None:
@@ -75,6 +80,16 @@ class OrderingScheme:
     def attach(self, fs: "FileSystem") -> None:
         """Bind to the mounted file system (called once at mount)."""
         self.fs = fs
+
+    @property
+    def crash_guarantees(self) -> CrashGuarantees:
+        """The effective declaration: allocation initialization (when on)
+        closes the stale-data hole regardless of the scheme's static
+        declaration (paper, section 1)."""
+        declared = self.declared_guarantees
+        if self.alloc_init and declared.allows_stale_data:
+            return replace(declared, allows_stale_data=False)
+        return declared
 
     # -- the four structural changes ------------------------------------
     def link_added(self, dp: "Inode", dbuf: "Buffer", offset: int,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.ordering.base import AllocContext, OrderingScheme
+from repro.ordering.guarantees import CrashGuarantees
 
 
 class ConventionalScheme(OrderingScheme):
@@ -19,6 +20,9 @@ class ConventionalScheme(OrderingScheme):
 
     name = "Conventional"
     uses_block_copy = False  # classic write-lock behaviour
+    # synchronous ordering writes: never corrupts; the delayed "last write"
+    # of each sequence still admits leaks and link skew until it lands
+    declared_guarantees = CrashGuarantees(allows_corruption=False)
 
     def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
         # rule 3/1: the pointed-to inode reaches disk before the entry

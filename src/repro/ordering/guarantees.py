@@ -1,0 +1,56 @@
+"""Per-scheme crash-safety declarations.
+
+Each ordering scheme declares what a power failure at an *arbitrary* instant
+is allowed to leave behind.  The crash-exploration engine
+(:mod:`repro.integrity.explorer`) sweeps every disk-write boundary, runs
+fsck on each surviving image, and holds the scheme to its own declaration:
+
+* ``corruption`` -- structural integrity lost (dangling directory entries,
+  double-allocated blocks, pointers off the volume): only No Order may ever
+  show these, as a consequence of ignoring all three ordering rules.
+* ``leaks`` -- allocated-but-unreferenced resources: every scheme that frees
+  lazily (soft updates' deferred deallocation, the scheduler schemes'
+  delayed pointer resets) may leak; fsck reclaims mechanically.
+* ``link skew`` -- nlink differing from the observed reference count: the
+  remove orderings (entry first, count later) make this unavoidable for
+  every safe scheme; fsck recomputes the count.
+* ``stale data`` -- a new file exposing a previous owner's bytes: open
+  unless allocation initialization is enforced (paper, section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CrashGuarantees:
+    """What crash states a scheme admits (checked, not trusted)."""
+
+    #: fsck *errors* are acceptable (only the No Order baseline)
+    allows_corruption: bool = False
+    #: leaked blocks/inodes/bitmap bits are acceptable (lazy deallocation)
+    allows_leaks: bool = True
+    #: link counts may transiently disagree with the directory tree
+    allows_link_skew: bool = True
+    #: new files may expose stale (deleted) data after a crash
+    allows_stale_data: bool = True
+
+    def permits(self, invariant) -> bool:
+        """Whether violating *invariant* (an
+        :class:`repro.integrity.invariants.Invariant`) is within the
+        declaration."""
+        if invariant.severity.value == "corruption":
+            return self.allows_corruption
+        if invariant.key == "link-count":
+            return self.allows_link_skew
+        if invariant.key == "stale-data":
+            return self.allows_stale_data
+        return self.allows_leaks
+
+
+#: the conservative default: safe w.r.t. corruption, repairable wear allowed
+SAFE_DEFAULT = CrashGuarantees()
+
+#: No Order declares nothing: any crash state is "as designed"
+UNSAFE = CrashGuarantees(allows_corruption=True)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.ordering.base import AllocContext, OrderingScheme
+from repro.ordering.guarantees import UNSAFE
 
 
 class NoOrderScheme(OrderingScheme):
@@ -22,6 +23,9 @@ class NoOrderScheme(OrderingScheme):
     name = "No Order"
     uses_block_copy = True  # delayed writes flush in the background; never
     # stall foreground updates on a write lock
+    # ordering rules ignored: a crash may corrupt, leak, and expose stale
+    # data all at once -- the exploration engine demonstrates this
+    declared_guarantees = UNSAFE
 
     def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
         ibuf = yield from self.fs.load_inode_buf(ip.ino)

@@ -24,10 +24,16 @@ from typing import Generator
 
 from repro.disk.storage import SectorStore
 from repro.ordering.base import AllocContext, OrderingScheme
+from repro.ordering.guarantees import CrashGuarantees
 
 
 class NvramScheme(OrderingScheme):
     """Delayed writes with an NVRAM mirror of all metadata updates."""
+
+    # the replayed mirror always holds the latest consistent metadata, so
+    # recovery sees neither corruption nor leaks; only the data-block
+    # stale-data hole stays open (metadata-only NVRAM, see below)
+    declared_guarantees = CrashGuarantees(allows_corruption=False)
 
     name = "NVRAM"
     uses_block_copy = True

@@ -23,10 +23,15 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.ordering.base import AllocContext, OrderingScheme
+from repro.ordering.guarantees import CrashGuarantees
 
 
 class SchedulerChainsScheme(OrderingScheme):
     """Per-request dependency lists enforced by the disk scheduler."""
+
+    # explicit dependency chains uphold all three rules without the flag's
+    # false dependencies; repairable wear is still possible
+    declared_guarantees = CrashGuarantees(allows_corruption=False)
 
     def __init__(self, alloc_init: bool = False, block_copy: bool = True,
                  dealloc_barrier: bool = False) -> None:

@@ -18,10 +18,15 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.ordering.base import AllocContext, OrderingScheme
+from repro.ordering.guarantees import CrashGuarantees
 
 
 class SchedulerFlagScheme(OrderingScheme):
     """Asynchronous flagged writes; ordering enforced by the disk scheduler."""
+
+    # flagged writes keep the ordering rules intact end to end; the delayed
+    # dependents admit the usual repairable wear
+    declared_guarantees = CrashGuarantees(allows_corruption=False)
 
     def __init__(self, alloc_init: bool = False,
                  block_copy: bool = True) -> None:

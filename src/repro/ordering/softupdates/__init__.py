@@ -22,6 +22,7 @@ from typing import Generator
 
 from repro.fs.layout import Dinode
 from repro.ordering.base import AllocContext, OrderingScheme
+from repro.ordering.guarantees import CrashGuarantees
 from repro.ordering.softupdates.manager import SoftDepManager
 
 
@@ -31,6 +32,9 @@ class SoftUpdatesScheme(OrderingScheme):
     name = "Soft Updates"
     uses_block_copy = True  # the separate write source is inherent to the
     # design (the paper's in-core inode / safe-copy indirection)
+    # deferred deallocation means a crash may leak blocks/inodes and leave
+    # link counts high, but rollback keeps every image free of corruption
+    declared_guarantees = CrashGuarantees(allows_corruption=False)
 
     def __init__(self, alloc_init: bool = True) -> None:
         # allocation initialization is enforced by default: with soft

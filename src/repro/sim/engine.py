@@ -95,6 +95,24 @@ class Engine:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at t={self.now:.6f}")
 
+    def run_to(self, when: float, max_events: Optional[int] = None) -> None:
+        """Advance the clock to the absolute instant *when*.
+
+        Processes every event scheduled at or before *when* (inclusive: two
+        runs stopped at the same instant see the same event prefix, which is
+        what makes crash-state replay deterministic) and leaves the clock at
+        exactly *when* even if the heap still holds later events or drained
+        early.
+        """
+        processed = 0
+        while self._heap and self._heap[0][0] <= when:
+            self.step()
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self.now:.6f}")
+        self.now = max(self.now, when)
+
     def run_until(self, event: Event, max_events: Optional[int] = None) -> Any:
         """Run until *event* has been processed; return its value.
 

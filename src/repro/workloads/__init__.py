@@ -8,11 +8,14 @@
 * :mod:`andrew` -- the 5-phase Andrew benchmark of table 3.
 * :mod:`sdet` -- the Sdet-like software-development script workload of
   figure 6.
+* :mod:`churn` -- seeded metadata-churn generators for crash exploration
+  (not a paper benchmark; built to keep ordered updates in flight).
 
 Every workload is expressed as generator functions run as simulated user
 processes on a :class:`~repro.machine.Machine`.
 """
 
+from repro.workloads.churn import churn_workload, microbench_churn
 from repro.workloads.trees import TreeSpec, tree_layout, build_tree
 from repro.workloads.copybench import (
     copy_tree_user,
@@ -29,7 +32,9 @@ __all__ = [
     "SdetResult",
     "TreeSpec",
     "build_tree",
+    "churn_workload",
     "copy_tree_user",
+    "microbench_churn",
     "populate_sources",
     "remove_tree_user",
     "run_andrew",

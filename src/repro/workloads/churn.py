@@ -1,0 +1,76 @@
+"""Seeded metadata-churn workloads for crash exploration.
+
+These are not paper benchmarks: they are adversarial workloads whose point
+is to keep many *ordering-sensitive* metadata updates in flight at once
+(creates, removes, mkdirs, renames), so that a crash at any disk-write
+boundary lands in the middle of some ordered sequence.  Everything is
+deterministic in the seed -- the crash-exploration engine replays the same
+workload many times and crashes it at different instants, so two runs with
+the same seed must issue byte-identical operation streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.machine import Machine
+
+#: the figure-5 microbenchmark file payload size
+MICRO_FILE_SIZE = 1024
+
+
+def churn_workload(machine: Machine, seed: int = 0,
+                   operations: int = 40) -> Generator:
+    """A random mix of creates, writes, removes, mkdirs and renames."""
+    rng = random.Random(seed)
+    live_files: list[str] = []
+    live_dirs = ["/"]
+    counter = 0
+    for _ in range(operations):
+        action = rng.random()
+        if action < 0.45 or not live_files:
+            parent = rng.choice(live_dirs)
+            path = f"{parent.rstrip('/')}/f{counter}"
+            counter += 1
+            size = rng.choice([300, 1024, 5000, 9000, 20000])
+            yield from machine.fs.write_file(path, b"d" * size)
+            live_files.append(path)
+        elif action < 0.70:
+            path = live_files.pop(rng.randrange(len(live_files)))
+            yield from machine.fs.unlink(path)
+        elif action < 0.85 and len(live_dirs) < 5:
+            path = f"/dir{counter}"
+            counter += 1
+            yield from machine.fs.mkdir(path)
+            live_dirs.append(path)
+        else:
+            old = live_files.pop(rng.randrange(len(live_files)))
+            new = f"/renamed{counter}"
+            counter += 1
+            yield from machine.fs.rename(old, new)
+            live_files.append(new)
+
+
+def microbench_churn(machine: Machine, seed: int = 0,
+                     files: int = 24) -> Generator:
+    """Figure-5-shaped churn: create 1 KB files, then remove a slice.
+
+    The create phase exercises rule 3 (inode initialized before the
+    directory entry lands); the remove phase exercises rules 1-2 (entry
+    cleared before the link drop, pointers reset before reuse).  The seed
+    perturbs which files are removed and which survive, so different seeds
+    explore different dependency interleavings.
+    """
+    rng = random.Random(seed)
+    payload = bytes([seed % 251]) * MICRO_FILE_SIZE
+    yield from machine.fs.mkdir("/micro")
+    for index in range(files):
+        yield from machine.fs.write_file(f"/micro/f{index}", payload)
+    victims = [index for index in range(files) if rng.random() < 0.6]
+    for index in victims:
+        yield from machine.fs.unlink(f"/micro/f{index}")
+    # a short re-create tail: freed inodes/fragments get reused, the
+    # classic rule-2 hazard window
+    for index in victims[: max(1, len(victims) // 3)]:
+        yield from machine.fs.write_file(f"/micro/g{index}", payload)

@@ -56,3 +56,14 @@ def run_user(machine, generator, name="user", max_events=5_000_000):
     """Run one simulated user to completion; returns its value."""
     return machine.engine.run_until(
         machine.engine.process(generator, name=name), max_events=max_events)
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything not explicitly marked slow is tier-1.
+
+    Keeps ``pytest -m tier1`` meaningful without requiring every fast test
+    to carry the marker by hand.
+    """
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)

@@ -77,6 +77,34 @@ class TestFlagInvariants:
                     assert read.dispatch_time >= write.complete_time - 1e-9
 
 
+class TestBackInvariants:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy)
+    def test_back_blocks_later_requests_behind_the_barrier(self, ops):
+        """With BACK semantics a request issued after a flagged one may not
+        be scheduled before it *or anything issued before it* (the flagged
+        request itself reorders freely with its elders -- the freedom PART
+        extends further and FULL removes)."""
+        trace = random_traffic(ops, lambda: FlagPolicy(FlagSemantics.BACK))
+        for flagged in (r for r in trace if r.flag):
+            elders = [r for r in trace if r.id <= flagged.id]
+            barrier_clear = max(r.complete_time for r in elders)
+            for later in (r for r in trace if r.id > flagged.id):
+                assert later.dispatch_time >= barrier_clear - 1e-9
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy)
+    def test_back_is_weaker_than_or_equal_to_full(self, ops):
+        """Everything BACK allows must still satisfy PART's guarantee."""
+        trace = random_traffic(ops, lambda: FlagPolicy(FlagSemantics.BACK))
+        for flagged in (r for r in trace if r.flag):
+            for other in trace:
+                if other.id > flagged.id:
+                    assert other.dispatch_time >= flagged.complete_time - 1e-9
+
+
 class TestChainsInvariants:
     @settings(max_examples=25, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
@@ -87,6 +115,61 @@ class TestChainsInvariants:
         for request in trace:
             for dep in request.depends_on:
                 assert by_id[dep].complete_time <= request.dispatch_time + 1e-9
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy)
+    def test_transitive_dependencies_complete_before_dispatch(self, ops):
+        """The whole ancestor DAG -- not just direct edges -- lands first."""
+        trace = random_traffic(ops, ChainsPolicy)
+        by_id = {r.id: r for r in trace}
+        closure: dict[int, frozenset[int]] = {}
+        for request in sorted(trace, key=lambda r: r.id):
+            ancestors = set(request.depends_on)
+            for dep in request.depends_on:
+                ancestors |= closure.get(dep, frozenset())
+            closure[request.id] = frozenset(ancestors)
+        for request in trace:
+            for ancestor in closure[request.id]:
+                assert by_id[ancestor].complete_time \
+                    <= request.dispatch_time + 1e-9
+
+
+def last_writer_traffic(draw_ops, policy_factory):
+    """Random overlapping writes with per-request bytes; returns the disk."""
+    engine = Engine()
+    disk = Disk(engine)
+    driver = DeviceDriver(engine, disk, policy_factory())
+    issued, payloads = [], []
+    for i, op in enumerate(draw_ops):
+        _kind, lbn_step, nsectors, flagged, _dep = op
+        lbn = 1000 + (509 * lbn_step) % 64  # force heavy overlap
+        data = bytes([i + 1]) * (512 * nsectors)
+        issued.append(driver.write(lbn, data, flag=flagged))
+        payloads.append((lbn, data))
+    for request in issued:
+        engine.run_until(request.done, max_events=2_000_000)
+    return payloads, disk
+
+
+class TestLastWriterWins:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=ops_strategy,
+           semantics=st.sampled_from(list(FlagSemantics)))
+    def test_platters_hold_the_last_issued_write(self, ops, semantics):
+        """Whatever reordering a policy permits, the media must end up
+        with the youngest issued data on every sector (the driver's write
+        FIFO made observable)."""
+        payloads, disk = last_writer_traffic(
+            ops, lambda: FlagPolicy(semantics))
+        expected: dict[int, bytes] = {}
+        sector_size = disk.geometry.sector_size
+        for lbn, data in payloads:  # issue order
+            for i in range(len(data) // sector_size):
+                expected[lbn + i] = data[i * sector_size:(i + 1) * sector_size]
+        for sector, data in expected.items():
+            assert disk.storage.read(sector) == data
 
 
 class TestUniversalInvariants:

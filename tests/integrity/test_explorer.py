@@ -1,0 +1,202 @@
+"""The crash-point exploration engine, exercised end to end.
+
+Tier-1 keeps the sweeps budgeted (a sampled subset of crash points, small
+pools); the ``slow`` marker runs the full sweeps the acceptance story is
+about: >=200 crash points per scheme, pool size >= 4, serial == parallel.
+"""
+
+import pytest
+
+from repro.harness.recording import record_run
+from repro.integrity.explorer import (
+    CrashPoint,
+    build_machine,
+    build_workload,
+    enumerate_crash_points,
+    explore,
+    verify_crash_point,
+    _Task,
+)
+from repro.integrity.invariants import Severity
+
+
+def small_sweep(scheme, workload="microbench", **kwargs):
+    kwargs.setdefault("seed", 0)
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("max_points", 40)
+    return explore(scheme, workload, **kwargs)
+
+
+class TestRecording:
+    def test_windows_are_disjoint_and_ordered(self):
+        machine = build_machine("conventional")
+        recorded = record_run(machine,
+                              build_workload(machine, "microbench", 0, 8))
+        assert recorded.windows, "a create workload must write something"
+        for before, after in zip(recorded.windows, recorded.windows[1:]):
+            assert before.complete_time <= after.transfer_start
+        assert recorded.quiesce_time >= recorded.workload_done
+        assert recorded.windows[-1].complete_time <= recorded.quiesce_time
+
+    def test_quiescent_machine_has_nothing_dirty(self):
+        machine = build_machine("softupdates")
+        record_run(machine, build_workload(machine, "microbench", 0, 8))
+        assert machine.driver.idle
+        assert not machine.cache.dirty_buffers()
+        assert machine.scheme.pending_work() == 0
+
+    def test_recording_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            machine = build_machine("chains")
+            runs.append(record_run(
+                machine, build_workload(machine, "churn", 11, 20)))
+        assert runs[0].windows == runs[1].windows
+        assert runs[0].events_processed == runs[1].events_processed
+        assert runs[0].quiesce_time == runs[1].quiesce_time
+
+
+class TestEnumeration:
+    def test_boundaries_and_partials_enumerated(self):
+        machine = build_machine("conventional")
+        recorded = record_run(machine,
+                              build_workload(machine, "microbench", 0, 8))
+        points = enumerate_crash_points(recorded, samples_per_write=2,
+                                        max_points=None)
+        labels = [p.label for p in points]
+        assert any(label.endswith("start") for label in labels)
+        assert any(label.endswith("complete") for label in labels)
+        assert any("sectors" in label for label in labels)
+        # one start + one complete per window, partials only where the
+        # window spans more than one sector
+        starts = sum(1 for label in labels if label.endswith("start"))
+        completes = sum(1 for label in labels if label.endswith("complete"))
+        assert starts == completes == len(recorded.windows)
+        times = [p.time for p in points]
+        assert times == sorted(times)
+
+    def test_budget_sampling_is_deterministic(self):
+        machine = build_machine("conventional")
+        recorded = record_run(machine,
+                              build_workload(machine, "microbench", 0, 8))
+        once = enumerate_crash_points(recorded, 2, 10, sample_seed=5)
+        again = enumerate_crash_points(recorded, 2, 10, sample_seed=5)
+        assert once == again and len(once) == 10
+        other = enumerate_crash_points(recorded, 2, 10, sample_seed=6)
+        assert [p.time for p in other] != [p.time for p in once]
+
+
+class TestBudgetedSweeps:
+    def test_noorder_microbench_shows_corruption(self):
+        report = small_sweep("noorder", max_points=None)
+        assert report.points_violating(), "No Order must violate something"
+        assert report.corruption_points, \
+            "No Order must show corruption-class violations"
+        # ... all of it within its own (unsafe) declaration
+        assert report.clean
+
+    @pytest.mark.parametrize("scheme", ["conventional", "softupdates"])
+    def test_safe_schemes_show_no_corruption(self, scheme):
+        report = small_sweep(scheme)
+        assert not report.corruption_points, [
+            (f.index, f.label, [v.message for v in f.violations[:3]])
+            for f in report.corruption_points]
+        assert report.clean
+
+    def test_softupdates_leaks_are_permitted_not_hidden(self):
+        report = small_sweep("softupdates", max_points=None)
+        counts = report.violation_counts
+        assert counts.get("leak", 0) > 0, \
+            "deferred deallocation should leak at some crash point"
+        assert report.clean
+
+    def test_serial_equals_parallel(self):
+        serial = small_sweep("chains", max_points=16)
+        parallel = small_sweep("chains", max_points=16, jobs=2)
+        assert serial.findings == parallel.findings
+
+    def test_single_point_reproduces_sweep_finding(self):
+        report = small_sweep("noorder", max_points=None)
+        target = report.corruption_points[0]
+        finding = verify_crash_point(_Task(
+            "noorder", "microbench", 0, None, False, False,
+            target.index, target.crash_time, target.label))
+        assert finding == target
+
+    def test_verify_repair_holds_for_softupdates(self):
+        report = small_sweep("softupdates", max_points=24,
+                             verify_repair=True)
+        assert "unrepairable" not in report.violation_counts
+        assert report.clean
+
+    def test_secrets_closed_by_alloc_init(self):
+        # soft updates enforces allocation initialization: no stale data
+        report = small_sweep("softupdates", max_points=24, secrets=True)
+        assert "stale-data" not in report.violation_counts
+        assert report.clean
+
+
+class TestCli:
+    def test_cli_reports_and_exits_zero_within_declaration(self, capsys):
+        from repro.integrity.explorer import main
+
+        code = main(["--scheme", "noorder", "--workload", "microbench",
+                     "--jobs", "1", "--max-points", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corruption" in out
+        assert "PASS" in out
+
+    def test_cli_json_mode(self, capsys):
+        import json
+
+        from repro.integrity.explorer import main
+
+        code = main(["--scheme", "conventional", "--jobs", "1",
+                     "--max-points", "12", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheme"] == "conventional"
+        assert payload["points"] == 12
+        assert payload["clean"] is True
+
+    def test_cli_single_point_mode(self, capsys):
+        from repro.integrity.explorer import main
+
+        code = main(["--scheme", "noorder", "--point", "0", "--jobs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 crash points" in out
+
+
+@pytest.mark.slow
+class TestFullSweeps:
+    """The acceptance-grade sweeps: every boundary, pool >= 4."""
+
+    def test_parallel_full_sweep_matches_serial(self):
+        serial = explore("conventional", "microbench", seed=0, jobs=1,
+                         max_points=None)
+        parallel = explore("conventional", "microbench", seed=0, jobs=4,
+                           max_points=None)
+        assert serial.points >= 200
+        assert serial.findings == parallel.findings
+
+    @pytest.mark.parametrize("scheme", ["conventional", "flag", "chains",
+                                        "softupdates", "nvram"])
+    def test_safe_schemes_full_sweep_clean(self, scheme):
+        for seed in (0, 7):
+            report = explore(scheme, "churn", seed=seed, jobs=4,
+                             max_points=None, verify_repair=True)
+            assert not report.corruption_points, [
+                (f.index, f.label, [v.message for v in f.violations[:3]])
+                for f in report.corruption_points]
+            assert report.clean
+
+    def test_noorder_full_sweep_breaks_integrity(self):
+        corrupted = 0
+        for seed in (0, 7):
+            report = explore("noorder", "churn", seed=seed, jobs=4,
+                             max_points=None)
+            corrupted += len(report.corruption_points)
+            assert report.clean  # unsafe by declaration, not by surprise
+        assert corrupted > 0
