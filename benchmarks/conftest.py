@@ -7,16 +7,34 @@ asserts the paper's qualitative findings (who wins, by roughly what factor).
 
 Scale: ``REPRO_SCALE`` (default 0.15) scales file counts/bytes; 1.0 is
 paper-scale.  Simulated seconds are reported, not wall seconds.
+
+Parallelism: each benchmark's independent (scheme, config) cells run
+through :func:`repro.harness.parallel.run_grid`, which fans them across a
+process pool (``REPRO_JOBS`` workers, default: all cores; ``REPRO_JOBS=1``
+forces serial).  Results are deterministic either way -- the regenerated
+tables are byte-identical.  At session end the per-cell wall clock and
+simulator event counts are appended to the ``BENCH_perf.json`` trajectory
+at the repo root and summarized in ``benchmarks/results/perf_report.txt``
+(both host-wall-clock artifacts: they vary run to run and are *not* part
+of the deterministic table output).
 """
 
-import os
+import json
 import pathlib
+import time
 
 import pytest
 
+from repro.harness.parallel import (  # noqa: F401  (run_grid re-exported)
+    GRID_REPORTS,
+    default_jobs,
+    run_grid,
+)
+from repro.harness.report import format_table
 from repro.harness.runner import FULL_CACHE_BYTES, scale_factor
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+PERF_JSON = pathlib.Path(__file__).parent.parent / "BENCH_perf.json"
 
 SCALE = scale_factor()
 
@@ -42,3 +60,65 @@ def once(benchmark):
         return benchmark.pedantic(fn, rounds=1, iterations=1)
 
     return runner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush the session's grid statistics to the perf trajectory."""
+    if not GRID_REPORTS:
+        return
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": SCALE,
+        "jobs": default_jobs(),
+        "wall_seconds": round(sum(g.wall_seconds for g in GRID_REPORTS), 3),
+        "cell_wall_seconds": round(sum(g.cell_wall_total
+                                       for g in GRID_REPORTS), 3),
+        "sim_events": sum(g.sim_events for g in GRID_REPORTS),
+        "grids": [
+            {
+                "name": grid.name,
+                "jobs": grid.jobs,
+                "wall_seconds": round(grid.wall_seconds, 3),
+                "cell_wall_seconds": round(grid.cell_wall_total, 3),
+                "sim_events": grid.sim_events,
+                "cells": [
+                    {
+                        "key": cell.key,
+                        "wall_seconds": round(cell.wall_seconds, 3),
+                        "sim_events": cell.sim_events,
+                        "events_per_second": round(cell.events_per_second),
+                    }
+                    for cell in grid.cells
+                ],
+            }
+            for grid in GRID_REPORTS
+        ],
+    }
+    history = []
+    if PERF_JSON.exists():
+        try:
+            history = json.loads(PERF_JSON.read_text())
+        except ValueError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    PERF_JSON.write_text(json.dumps(history, indent=2) + "\n")
+
+    rows = []
+    for grid in GRID_REPORTS:
+        for cell in grid.cells:
+            rows.append([grid.name, cell.key, cell.wall_seconds,
+                         cell.sim_events, cell.events_per_second])
+        rows.append([grid.name, "(grid total)", grid.wall_seconds,
+                     grid.sim_events,
+                     grid.sim_events / grid.wall_seconds
+                     if grid.wall_seconds else 0.0])
+    report = format_table(
+        f"Benchmark performance (scale={SCALE}, jobs={default_jobs()}, "
+        f"host wall clock -- varies run to run)",
+        ["Grid", "Cell", "Wall (s)", "Sim events", "Events/s"], rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "perf_report.txt").write_text(report + "\n")
+    print()
+    print(report)

@@ -13,7 +13,7 @@ from repro.machine import MachineConfig
 from repro.ordering import SchedulerChainsScheme
 from repro.workloads.trees import TreeSpec
 
-from benchmarks.conftest import SCALE, emit, scaled_cache
+from benchmarks.conftest import SCALE, emit, run_grid, scaled_cache
 
 
 def chains_config(block_copy: bool) -> MachineConfig:
@@ -26,15 +26,19 @@ def chains_config(block_copy: bool) -> MachineConfig:
 def test_ablation_chains_block_copy(once):
     tree = TreeSpec().scaled(SCALE)
 
+    def cell(bench, variant):
+        def run():
+            config = chains_config(variant == "CB")
+            if bench == "copy":
+                return run_copy(config, 4, tree)
+            return run_remove(config, 4, tree, cold_cache=True)
+        return (bench, variant), run
+
     def experiment():
-        return {
-            ("copy", "no-CB"): run_copy(chains_config(False), 4, tree),
-            ("copy", "CB"): run_copy(chains_config(True), 4, tree),
-            ("remove", "no-CB"): run_remove(chains_config(False), 4, tree,
-                                            cold_cache=True),
-            ("remove", "CB"): run_remove(chains_config(True), 4, tree,
-                                         cold_cache=True),
-        }
+        return run_grid("ablation_chains_cb",
+                        [cell(bench, variant)
+                         for bench in ("copy", "remove")
+                         for variant in ("no-CB", "CB")])
 
     results = once(experiment)
     rows = [[bench, variant, r.elapsed, r.cpu_time, r.disk_requests]

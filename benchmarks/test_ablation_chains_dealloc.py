@@ -21,7 +21,7 @@ from repro.machine import MachineConfig
 from repro.ordering import SchedulerChainsScheme
 from repro.workloads.trees import TreeSpec
 
-from benchmarks.conftest import SCALE, emit, scaled_cache
+from benchmarks.conftest import SCALE, emit, run_grid, scaled_cache
 
 
 def chains_config(dealloc_barrier: bool, cache_bytes: int) -> MachineConfig:
@@ -36,13 +36,19 @@ def test_ablation_chains_dealloc(once):
     pressured = max(384 * 1024, scaled_cache() // 8)
     roomy = scaled_cache()
 
+    def cell(regime, cache, approach, barrier):
+        def run():
+            return run_remove(chains_config(barrier, cache), 4, tree)
+        return (regime, approach), run
+
     def experiment():
-        results = {}
-        for regime, cache in (("pressured", pressured), ("roomy", roomy)):
-            for approach, barrier in (("barrier", True), ("tracking", False)):
-                results[(regime, approach)] = run_remove(
-                    chains_config(barrier, cache), 4, tree)
-        return results
+        return run_grid(
+            "ablation_chains_dealloc",
+            [cell(regime, cache, approach, barrier)
+             for regime, cache in (("pressured", pressured),
+                                   ("roomy", roomy))
+             for approach, barrier in (("barrier", True),
+                                       ("tracking", False))])
 
     results = once(experiment)
     rows = [[regime, approach, r.elapsed, r.io_response_avg * 1000,

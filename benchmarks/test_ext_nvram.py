@@ -17,7 +17,7 @@ from repro.machine import MachineConfig
 from repro.ordering import NvramScheme
 from repro.workloads.trees import TreeSpec
 
-from benchmarks.conftest import SCALE, emit, scaled_cache
+from benchmarks.conftest import SCALE, emit, run_grid, scaled_cache
 
 
 def nvram_config() -> MachineConfig:
@@ -25,28 +25,29 @@ def nvram_config() -> MachineConfig:
                          costs=CostModel(), cache_bytes=scaled_cache())
 
 
+LABELS = ["Soft Updates", "NVRAM", "No Order"]
+
+
+def make_config(label: str) -> MachineConfig:
+    if label == "NVRAM":
+        return nvram_config()
+    return standard_scheme_config(label, cache_bytes=scaled_cache())
+
+
 def test_ext_nvram_vs_soft_updates(once):
     tree = TreeSpec().scaled(SCALE)
 
+    def cell(bench, label):
+        def run():
+            runner = run_copy if bench == "copy" else run_remove
+            return runner(make_config(label), 4, tree)
+        return (bench, label), run
+
     def experiment():
-        results = {}
-        for label, config in [
-            ("Soft Updates", standard_scheme_config(
-                "Soft Updates", cache_bytes=scaled_cache())),
-            ("NVRAM", nvram_config()),
-            ("No Order", standard_scheme_config(
-                "No Order", cache_bytes=scaled_cache())),
-        ]:
-            results[("copy", label)] = run_copy(config, 4, tree)
-        for label, config in [
-            ("Soft Updates", standard_scheme_config(
-                "Soft Updates", cache_bytes=scaled_cache())),
-            ("NVRAM", nvram_config()),
-            ("No Order", standard_scheme_config(
-                "No Order", cache_bytes=scaled_cache())),
-        ]:
-            results[("remove", label)] = run_remove(config, 4, tree)
-        return results
+        return run_grid("ext_nvram",
+                        [cell(bench, label)
+                         for bench in ("copy", "remove")
+                         for label in LABELS])
 
     results = once(experiment)
     rows = [[bench, label, r.elapsed, r.cpu_time, r.disk_requests]

@@ -13,7 +13,7 @@ from repro.harness.runner import STANDARD_SCHEMES, standard_scheme_config
 from repro.integrity import CrashScheduler, fsck, repair
 from repro.machine import Machine
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, run_grid
 from tests.conftest import SMALL_GEOMETRY
 from tests.integrity.test_crash import churn_workload
 
@@ -23,9 +23,8 @@ SEEDS = (0, 1)
 
 
 def test_ext_recovery_cost(once):
-    def experiment():
-        results = {}
-        for name in STANDARD_SCHEMES:
+    def cell(name):
+        def run():
             warnings = errors = 0
             repaired_clean = 0
             trials = 0
@@ -46,9 +45,12 @@ def test_ext_recovery_cost(once):
                     repaired_clean += int(after.clean
                                           and not after.warnings)
                     trials += 1
-            results[name] = (errors, warnings / trials,
-                             repaired_clean, trials)
-        return results
+            return (errors, warnings / trials, repaired_clean, trials)
+        return name, run
+
+    def experiment():
+        return run_grid("ext_recovery_cost",
+                        [cell(name) for name in STANDARD_SCHEMES])
 
     results = once(experiment)
     rows = [[name, errors, avg_warnings, f"{clean}/{trials}"]

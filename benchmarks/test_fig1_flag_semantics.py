@@ -11,7 +11,7 @@ from repro.harness.report import format_table
 from repro.harness.runner import flag_variant, run_copy
 from repro.workloads.trees import TreeSpec
 
-from benchmarks.conftest import SCALE, emit, scaled_cache
+from benchmarks.conftest import SCALE, emit, run_grid, scaled_cache
 
 VARIANTS = [
     ("Full", FlagSemantics.FULL, False),
@@ -25,13 +25,16 @@ VARIANTS = [
 def test_fig1_flag_semantics_copy(once):
     tree = TreeSpec().scaled(SCALE)
 
-    def experiment():
-        results = {}
-        for label, semantics, bypass in VARIANTS:
+    def cell(label, semantics, bypass):
+        def run():
             config = flag_variant(semantics, bypass, block_copy=True,
                                   cache_bytes=scaled_cache())
-            results[label] = run_copy(config, users=4, tree=tree, label=label)
-        return results
+            return run_copy(config, users=4, tree=tree, label=label)
+        return label, run
+
+    def experiment():
+        return run_grid("fig1_flag_semantics_copy",
+                        [cell(*variant) for variant in VARIANTS])
 
     results = once(experiment)
     rows = [[label, r.elapsed, r.access_avg * 1000, r.disk_requests]

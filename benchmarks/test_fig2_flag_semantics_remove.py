@@ -13,7 +13,7 @@ from repro.harness.report import format_table
 from repro.harness.runner import flag_variant, run_remove
 from repro.workloads.trees import TreeSpec
 
-from benchmarks.conftest import SCALE, emit, scaled_cache
+from benchmarks.conftest import SCALE, emit, run_grid, scaled_cache
 
 VARIANTS = [
     ("Part", FlagSemantics.PART, False),
@@ -27,16 +27,19 @@ VARIANTS = [
 def test_fig2_flag_semantics_remove(once):
     tree = TreeSpec().scaled(SCALE)
 
-    def experiment():
-        results = {}
-        for label, semantics, bypass in VARIANTS:
+    def cell(label, semantics, bypass):
+        def run():
             config = flag_variant(semantics, bypass, block_copy=True,
                                   cache_bytes=scaled_cache())
-            # cold cache: earlier activity pushed the tree's metadata out of
-            # memory, so removal issues the reads this figure is about
-            results[label] = run_remove(config, users=1, tree=tree,
-                                        label=label, cold_cache=True)
-        return results
+            # cold cache: earlier activity pushed the tree's metadata out
+            # of memory, so removal issues the reads this figure is about
+            return run_remove(config, users=1, tree=tree,
+                              label=label, cold_cache=True)
+        return label, run
+
+    def experiment():
+        return run_grid("fig2_flag_semantics_remove",
+                        [cell(*variant) for variant in VARIANTS])
 
     results = once(experiment)
     rows = [[label, r.elapsed, r.driver_response_avg * 1000, r.disk_requests]

@@ -11,7 +11,7 @@ from repro.harness.report import format_table
 from repro.harness.runner import flag_variant, run_copy
 from repro.workloads.trees import TreeSpec
 
-from benchmarks.conftest import SCALE, emit, scaled_cache
+from benchmarks.conftest import SCALE, emit, run_grid, scaled_cache
 
 VARIANTS = [
     ("Part", False, False),
@@ -24,14 +24,17 @@ VARIANTS = [
 def test_fig3_flag_implementations_copy(once):
     tree = TreeSpec().scaled(SCALE)
 
-    def experiment():
-        results = {}
-        for label, bypass, block_copy in VARIANTS:
+    def cell(label, bypass, block_copy):
+        def run():
             config = flag_variant(FlagSemantics.PART, bypass,
                                   block_copy=block_copy,
                                   cache_bytes=scaled_cache())
-            results[label] = run_copy(config, users=4, tree=tree, label=label)
-        return results
+            return run_copy(config, users=4, tree=tree, label=label)
+        return label, run
+
+    def experiment():
+        return run_grid("fig3_flag_impl_copy",
+                        [cell(*variant) for variant in VARIANTS])
 
     results = once(experiment)
     rows = [[label, r.elapsed, r.cpu_time, r.driver_response_avg * 1000,

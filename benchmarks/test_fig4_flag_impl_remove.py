@@ -10,7 +10,7 @@ from repro.harness.report import format_table
 from repro.harness.runner import flag_variant, run_remove
 from repro.workloads.trees import TreeSpec
 
-from benchmarks.conftest import SCALE, emit, scaled_cache
+from benchmarks.conftest import SCALE, emit, run_grid, scaled_cache
 
 VARIANTS = [
     ("Part", False, False),
@@ -23,15 +23,18 @@ VARIANTS = [
 def test_fig4_flag_implementations_remove(once):
     tree = TreeSpec().scaled(SCALE)
 
-    def experiment():
-        results = {}
-        for label, bypass, block_copy in VARIANTS:
+    def cell(label, bypass, block_copy):
+        def run():
             config = flag_variant(FlagSemantics.PART, bypass,
                                   block_copy=block_copy,
                                   cache_bytes=scaled_cache())
-            results[label] = run_remove(config, users=4, tree=tree,
-                                        label=label, cold_cache=True)
-        return results
+            return run_remove(config, users=4, tree=tree,
+                              label=label, cold_cache=True)
+        return label, run
+
+    def experiment():
+        return run_grid("fig4_flag_impl_remove",
+                        [cell(*variant) for variant in VARIANTS])
 
     results = once(experiment)
     rows = [[label, r.elapsed, r.cpu_time, r.driver_response_avg * 1000,

@@ -14,21 +14,27 @@ from repro.harness.runner import (
 )
 from repro.workloads.sdet import run_sdet
 
-from benchmarks.conftest import SCALE, emit
+from benchmarks.conftest import SCALE, emit, run_grid
 
 CONCURRENCY = [1, 2, 4, 8]
 COMMANDS = max(20, int(120 * SCALE))
 
 
 def test_fig6_sdet(once):
+    def cell(scripts, name):
+        def run():
+            machine = build_machine(standard_scheme_config(name))
+            return run_sdet(machine, scripts, commands_per_script=COMMANDS)
+        return (scripts, name), run
+
     def experiment():
+        results = run_grid("fig6_sdet",
+                           [cell(scripts, name) for scripts in CONCURRENCY
+                            for name in STANDARD_SCHEMES])
         series = {name: [] for name in STANDARD_SCHEMES}
         for scripts in CONCURRENCY:
             for name in STANDARD_SCHEMES:
-                machine = build_machine(standard_scheme_config(name))
-                result = run_sdet(machine, scripts,
-                                  commands_per_script=COMMANDS)
-                series[name].append(result.scripts_per_hour)
+                series[name].append(results[(scripts, name)].scripts_per_hour)
         return series
 
     series = once(experiment)

@@ -17,21 +17,25 @@ from repro.harness.runner import (
 )
 from repro.workloads.trees import TreeSpec
 
-from benchmarks.conftest import SCALE, emit, scaled_cache
+from benchmarks.conftest import SCALE, emit, run_grid, scaled_cache
 
 
 def test_table1_copy(once):
     tree = TreeSpec().scaled(SCALE)
 
+    def cell(name, init):
+        def run():
+            config = standard_scheme_config(name, alloc_init=init,
+                                            cache_bytes=scaled_cache())
+            return run_copy(config, users=4, tree=tree)
+        return (name, init), run
+
     def experiment():
-        results = {}
-        for name in STANDARD_SCHEMES:
-            inits = (False,) if name == "No Order" else (False, True)
-            for init in inits:
-                config = standard_scheme_config(name, alloc_init=init,
-                                                cache_bytes=scaled_cache())
-                results[(name, init)] = run_copy(config, users=4, tree=tree)
-        return results
+        cells = [cell(name, init)
+                 for name in STANDARD_SCHEMES
+                 for init in ((False,) if name == "No Order"
+                              else (False, True))]
+        return run_grid("table1_copy", cells)
 
     results = once(experiment)
     base = results[("No Order", False)].elapsed

@@ -17,19 +17,22 @@ from repro.harness.runner import (
 )
 from repro.workloads.trees import TreeSpec
 
-from benchmarks.conftest import SCALE, emit, scaled_cache
+from benchmarks.conftest import SCALE, emit, run_grid, scaled_cache
 
 
 def test_table2_remove(once):
     tree = TreeSpec().scaled(SCALE)
 
-    def experiment():
-        results = {}
-        for name in STANDARD_SCHEMES:
+    def cell(name):
+        def run():
             config = standard_scheme_config(name,
                                             cache_bytes=scaled_cache())
-            results[name] = run_remove(config, users=4, tree=tree)
-        return results
+            return run_remove(config, users=4, tree=tree)
+        return name, run
+
+    def experiment():
+        return run_grid("table2_remove",
+                        [cell(name) for name in STANDARD_SCHEMES])
 
     results = once(experiment)
     base = results["No Order"].elapsed

@@ -14,21 +14,24 @@ from repro.harness.runner import (
 )
 from repro.workloads.andrew import PHASE_NAMES, run_andrew
 
-from benchmarks.conftest import SCALE, emit
+from benchmarks.conftest import SCALE, emit, run_grid
 
 ITERATIONS = 3
 
 
 def test_table3_andrew(once):
-    def experiment():
-        results = {}
-        for name in STANDARD_SCHEMES:
+    def cell(name):
+        def run():
             machine = build_machine(standard_scheme_config(
                 name, alloc_init=(name == "Soft Updates")))
-            results[name] = run_andrew(machine, iterations=ITERATIONS,
-                                       scale=max(SCALE, 0.3),
-                                       compile_scale=max(SCALE, 0.3))
-        return results
+            return run_andrew(machine, iterations=ITERATIONS,
+                              scale=max(SCALE, 0.3),
+                              compile_scale=max(SCALE, 0.3))
+        return name, run
+
+    def experiment():
+        return run_grid("table3_andrew",
+                        [cell(name) for name in STANDARD_SCHEMES])
 
     results = once(experiment)
     rows = []

@@ -1,0 +1,149 @@
+"""Run independent benchmark cells across a multiprocessing pool.
+
+The benchmark grids (tables 1-3, figures 1-6, the extensions) are
+embarrassingly parallel: every ``(scheme, config)`` cell builds its own
+:class:`~repro.machine.Machine`, runs it to completion, and reduces the
+trace to a small result object -- cells share no state.  This module fans a
+grid's cells across a pool of forked workers, the same pattern
+``repro.integrity.explorer`` uses for crash-point verification: the work
+list is a module-level global installed *before* the pool forks, so child
+processes inherit the cell closures by address space and only list indices
+(and the small results) cross the pipe.
+
+Determinism is the contract.  A cell's simulation is bit-identical no
+matter which worker runs it (the simulator seeds all randomness and has no
+hidden cross-machine state), and :func:`run_grid` returns results keyed in
+*input* order regardless of completion order -- so a parallel grid produces
+byte-identical tables to a serial one.  ``REPRO_JOBS=1`` forces the serial
+path; the suite's CI job diffs the two.
+
+Every grid also records per-cell wall seconds and simulator events into
+:data:`GRID_REPORTS`; ``benchmarks/conftest.py`` flushes those into the
+``BENCH_perf.json`` trajectory and ``benchmarks/results/perf_report.txt``
+at session end, so future performance work has a baseline to compare
+against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Cell", "CellStats", "GridReport", "GRID_REPORTS",
+           "default_jobs", "run_grid"]
+
+
+@dataclass
+class Cell:
+    """One independent grid cell: a key and a zero-argument experiment."""
+
+    key: Any
+    fn: Callable[[], Any]
+
+
+@dataclass
+class CellStats:
+    """Per-cell performance record (host wall clock + simulator events)."""
+
+    key: str
+    wall_seconds: float
+    sim_events: int
+
+    @property
+    def events_per_second(self) -> float:
+        return self.sim_events / self.wall_seconds if self.wall_seconds else 0.0
+
+
+@dataclass
+class GridReport:
+    """One grid's performance summary, appended to :data:`GRID_REPORTS`."""
+
+    name: str
+    jobs: int
+    #: wall seconds for the whole grid (cells overlap when jobs > 1)
+    wall_seconds: float = 0.0
+    cells: list = field(default_factory=list)
+
+    @property
+    def cell_wall_total(self) -> float:
+        """Sum of per-cell walls (= serial cost; > wall_seconds when parallel)."""
+        return sum(cell.wall_seconds for cell in self.cells)
+
+    @property
+    def sim_events(self) -> int:
+        return sum(cell.sim_events for cell in self.cells)
+
+
+#: every grid executed this session, in execution order
+GRID_REPORTS: list[GridReport] = []
+
+#: the active grid's cells; a module-level global so forked workers inherit
+#: the closures and :func:`_run_cell` only needs an index (explorer.py's
+#: pattern -- closures over local state cannot cross a pickle boundary)
+_WORK: list[Cell] = []
+
+
+def _run_cell(index: int):
+    cell = _WORK[index]
+    start = time.perf_counter()
+    result = cell.fn()
+    return index, result, time.perf_counter() - start
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else the machine's core count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def run_grid(name: str, cells: list, jobs: Optional[int] = None) -> dict:
+    """Run every cell; return ``{key: result}`` in input order.
+
+    *cells* is a list of :class:`Cell` or ``(key, fn)`` pairs.  Runs
+    serially when *jobs* resolves to 1, when only one cell exists, or when
+    the platform cannot fork (the pool pattern requires inherited memory);
+    otherwise fans out over a fork pool.  Either way the returned mapping
+    and all recorded statistics are identical -- completion order never
+    leaks into the results.
+    """
+    cells = [cell if isinstance(cell, Cell) else Cell(*cell)
+             for cell in cells]
+    if jobs is None:
+        jobs = default_jobs()
+    methods = multiprocessing.get_all_start_methods()
+    parallel = jobs > 1 and len(cells) > 1 and "fork" in methods
+    report = GridReport(name=name, jobs=jobs if parallel else 1)
+    grid_start = time.perf_counter()
+
+    outcomes: list = [None] * len(cells)
+    if parallel:
+        global _WORK
+        previous, _WORK = _WORK, cells
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(min(jobs, len(cells))) as pool:
+                for index, result, wall in pool.imap_unordered(
+                        _run_cell, range(len(cells)), chunksize=1):
+                    outcomes[index] = (result, wall)
+        finally:
+            _WORK = previous
+    else:
+        for index, cell in enumerate(cells):
+            start = time.perf_counter()
+            result = cell.fn()
+            outcomes[index] = (result, time.perf_counter() - start)
+
+    report.wall_seconds = time.perf_counter() - grid_start
+    results = {}
+    for cell, (result, wall) in zip(cells, outcomes):
+        results[cell.key] = result
+        report.cells.append(CellStats(
+            key=str(cell.key), wall_seconds=wall,
+            sim_events=getattr(result, "sim_events", 0) or 0))
+    GRID_REPORTS.append(report)
+    return results

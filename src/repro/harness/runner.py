@@ -12,6 +12,7 @@ dynamics (the cache-full throttling of the copy benchmark) are preserved.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
@@ -130,6 +131,7 @@ def run_copy(config: MachineConfig, users: int, tree: TreeSpec,
              label: str = "", settle: bool = True,
              seed: Optional[int] = None) -> RunResult:
     """N-user copy: returns the table-1-style measurements."""
+    wall_start = time.perf_counter()
     tree = with_seed(tree, seed)
     machine = build_machine(config)
     populate_sources(machine, users, tree)
@@ -140,7 +142,9 @@ def run_copy(config: MachineConfig, users: int, tree: TreeSpec,
     machine.run(*processes, max_events=300_000_000)
     if settle:
         machine.sync_and_settle()
-    return collect(machine, processes, mark, label=label)
+    result = collect(machine, processes, mark, label=label)
+    result.wall_seconds = time.perf_counter() - wall_start
+    return result
 
 
 def run_remove(config: MachineConfig, users: int, tree: TreeSpec,
@@ -155,6 +159,7 @@ def run_remove(config: MachineConfig, users: int, tree: TreeSpec,
     out of memory, so removal issues reads that interact with the ordered
     write queue.
     """
+    wall_start = time.perf_counter()
     tree = with_seed(tree, seed)
     machine = build_machine(config)
 
@@ -171,4 +176,6 @@ def run_remove(config: MachineConfig, users: int, tree: TreeSpec,
     machine.run(*processes, max_events=300_000_000)
     if settle:
         machine.sync_and_settle()
-    return collect(machine, processes, mark, label=label)
+    result = collect(machine, processes, mark, label=label)
+    result.wall_seconds = time.perf_counter() - wall_start
+    return result

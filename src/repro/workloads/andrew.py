@@ -35,6 +35,8 @@ class AndrewResult:
     iterations: int
     #: phase name -> (mean seconds, standard deviation)
     phases: dict = field(default_factory=dict)
+    #: simulator events processed during the measured iterations
+    sim_events: int = 0
 
     @property
     def total(self) -> tuple[float, float]:
@@ -81,6 +83,7 @@ def run_andrew(machine: Machine, iterations: int = 3,
 
     machine.populate(sources())
 
+    events_before = machine.engine.events_processed
     for iteration in range(iterations):
         root = f"/run{iteration}"
         process = machine.spawn(
@@ -90,7 +93,9 @@ def run_andrew(machine: Machine, iterations: int = 3,
         machine.run(process, max_events=500_000_000)
         machine.sync_and_settle()
 
-    result = AndrewResult(scheme=machine.scheme_name, iterations=iterations)
+    result = AndrewResult(scheme=machine.scheme_name, iterations=iterations,
+                          sim_events=machine.engine.events_processed
+                          - events_before)
     for name in PHASE_NAMES:
         values = samples[name]
         mean = sum(values) / len(values)

@@ -31,6 +31,8 @@ class MicrobenchResult:
     #: files per second over the whole run (the figure's y axis)
     throughput: float
     disk_requests: int
+    #: simulator events processed during the measured run
+    sim_events: int = 0
 
 
 def _create_user(machine: Machine, user: int, count: int) -> Generator:
@@ -68,6 +70,7 @@ def run_microbench(machine: Machine, users: int, total_files: int,
     machine.populate(setup())
     start = machine.engine.now
     requests_before = machine.driver.requests_issued
+    events_before = machine.engine.events_processed
     processes = [machine.spawn(workers(machine, user, per_user),
                                name=f"user{user}")
                  for user in range(users)]
@@ -77,4 +80,5 @@ def run_microbench(machine: Machine, users: int, total_files: int,
         scheme=machine.scheme_name, mode=mode, users=users,
         files=per_user * users, elapsed=elapsed,
         throughput=(per_user * users) / elapsed if elapsed > 0 else 0.0,
-        disk_requests=machine.driver.requests_issued - requests_before)
+        disk_requests=machine.driver.requests_issued - requests_before,
+        sim_events=machine.engine.events_processed - events_before)

@@ -44,6 +44,8 @@ class SdetResult:
     elapsed: float
     #: the figure's y axis
     scripts_per_hour: float
+    #: simulator events processed during the measured run
+    sim_events: int = 0
 
 
 def _script(machine: Machine, user: int, commands: int,
@@ -121,6 +123,7 @@ def run_sdet(machine: Machine, scripts: int, commands_per_script: int = 60,
              seed: int = 42) -> SdetResult:
     """Run *scripts* concurrent scripts; returns scripts/hour."""
     start = machine.engine.now
+    events_before = machine.engine.events_processed
     processes = [machine.spawn(
         _script(machine, user, commands_per_script, seed),
         name=f"script{user}") for user in range(scripts)]
@@ -129,4 +132,5 @@ def run_sdet(machine: Machine, scripts: int, commands_per_script: int = 60,
     return SdetResult(
         scheme=machine.scheme_name, scripts=scripts,
         commands_per_script=commands_per_script, elapsed=elapsed,
-        scripts_per_hour=scripts * 3600.0 / elapsed if elapsed else 0.0)
+        scripts_per_hour=scripts * 3600.0 / elapsed if elapsed else 0.0,
+        sim_events=machine.engine.events_processed - events_before)

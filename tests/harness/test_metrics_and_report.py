@@ -46,6 +46,26 @@ class TestCollect:
         assert result.disk_requests == 0
         assert result.elapsed == 0.0
 
+    def test_driver_response_is_queue_plus_service(self):
+        """driver_response_avg must be computed from the dispatch stamps
+        (queue wait + drive service), not copied from io_response_avg."""
+        machine = make_machine("conventional")
+
+        def benchmark():
+            yield from machine.fs.write_file("/bench", b"b" * 40960)
+            yield from machine.fs.sync()
+
+        process = machine.engine.process(benchmark(), name="bench")
+        machine.engine.run_until(process, max_events=5_000_000)
+        result = collect(machine, [process], 0)
+        window = [r for r in machine.driver.trace if r.id > 0]
+        queue = sum(r.dispatch_time - r.issue_time for r in window)
+        service = sum(r.complete_time - r.dispatch_time for r in window)
+        assert result.queue_avg == pytest.approx(queue / len(window))
+        assert result.driver_response_avg == pytest.approx(
+            (queue + service) / len(window))
+        assert result.sim_events > 0
+
 
 class TestRunResult:
     def test_as_row_mixes_fields_and_extras(self):

@@ -1,0 +1,95 @@
+"""The parallel grid runner: serial/parallel identity and perf records."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.disk import Disk
+from repro.driver import DeviceDriver, FlagPolicy, FlagSemantics
+from repro.harness.parallel import (
+    GRID_REPORTS,
+    Cell,
+    GridReport,
+    default_jobs,
+    run_grid,
+)
+from repro.sim import Engine
+
+
+@dataclass
+class MiniResult:
+    key: str
+    trace: list
+    sim_events: int
+
+
+def simulate(seed: int) -> MiniResult:
+    """A small deterministic driver run (heavier for larger seeds, so
+    parallel completion order differs from input order)."""
+    engine = Engine()
+    driver = DeviceDriver(engine, Disk(engine),
+                          FlagPolicy(FlagSemantics.PART))
+    issued = [driver.write((37 * (seed + 1) * i) % 5000, b"\x01" * 1024,
+                           flag=i % 3 == 0)
+              for i in range(10 + 10 * seed)]
+    for request in issued:
+        engine.run_until(request.done, max_events=1_000_000)
+    return MiniResult(key=f"cell{seed}",
+                      trace=[(r.id, r.lbn, r.complete_time)
+                             for r in driver.trace],
+                      sim_events=engine.events_processed)
+
+
+def make_cells():
+    return [Cell(f"cell{seed}", lambda seed=seed: simulate(seed))
+            for seed in range(4)]
+
+
+class TestRunGrid:
+    def test_serial_and_parallel_results_identical(self):
+        serial = run_grid("t-serial", make_cells(), jobs=1)
+        parallel = run_grid("t-parallel", make_cells(), jobs=3)
+        assert serial == parallel
+
+    def test_results_keyed_in_input_order(self):
+        results = run_grid("t-order", make_cells(), jobs=3)
+        assert list(results) == [f"cell{seed}" for seed in range(4)]
+
+    def test_accepts_key_fn_pairs(self):
+        results = run_grid("t-pairs", [("a", lambda: 1), ("b", lambda: 2)],
+                           jobs=1)
+        assert results == {"a": 1, "b": 2}
+
+    def test_grid_report_records_cells(self):
+        before = len(GRID_REPORTS)
+        run_grid("t-report", make_cells(), jobs=2)
+        report = GRID_REPORTS[-1]
+        assert len(GRID_REPORTS) == before + 1
+        assert isinstance(report, GridReport)
+        assert report.name == "t-report"
+        assert [cell.key for cell in report.cells] \
+            == [f"cell{seed}" for seed in range(4)]
+        # sim_events comes off the result object; walls are measured
+        assert all(cell.sim_events > 0 for cell in report.cells)
+        assert all(cell.wall_seconds >= 0 for cell in report.cells)
+        assert report.sim_events == sum(c.sim_events for c in report.cells)
+        assert report.cell_wall_total == pytest.approx(
+            sum(c.wall_seconds for c in report.cells))
+
+    def test_results_without_sim_events_record_zero(self):
+        run_grid("t-plain", [("x", lambda: 41)], jobs=1)
+        assert GRID_REPORTS[-1].cells[0].sim_events == 0
+
+
+class TestDefaultJobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+
+    def test_env_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() >= 1

@@ -39,6 +39,45 @@ class TestClock:
         eng.run()
         assert order == [0, 1, 2, 3, 4]
 
+    def test_run_until_in_the_past_never_rewinds_clock(self, eng):
+        """run(until=...) with until < now must not move time backwards."""
+        eng.timeout(5.0)
+        eng.run()
+        assert eng.now == 5.0
+        eng.run(until=2.0)  # nothing to do; the past stays the past
+        assert eng.now == 5.0
+
+    def test_run_advances_clock_when_heap_drains_early(self, eng):
+        """If every event lands before *until*, the clock still reaches it."""
+        eng.timeout(1.0)
+        eng.run(until=7.0)
+        assert eng.now == 7.0
+
+    def test_run_until_matches_run_to_semantics(self, eng):
+        """run(until=t) and run_to(t) leave identical clock/event state."""
+        from repro.sim import Engine
+
+        def make():
+            engine = Engine()
+            order = []
+            for delay in (1.0, 3.0, 3.0, 8.0):
+                engine.call_later(delay, order.append, delay)
+            return engine, order
+
+        a, seen_a = make()
+        a.run(until=3.0)
+        b, seen_b = make()
+        b.run_to(3.0)
+        assert a.now == b.now == 3.0
+        assert seen_a == seen_b == [1.0, 3.0, 3.0]
+        assert a.events_processed == b.events_processed
+
+    def test_run_without_until_drains_and_keeps_last_time(self, eng):
+        eng.timeout(2.0)
+        eng.run()
+        eng.run()  # empty heap: no-op, clock untouched
+        assert eng.now == 2.0
+
     def test_step_on_empty_heap_raises(self, eng):
         with pytest.raises(SimulationError):
             eng.step()
