@@ -19,7 +19,6 @@ at the repo root and summarized in ``benchmarks/results/perf_report.txt``
 of the deterministic table output).
 """
 
-import json
 import pathlib
 import time
 
@@ -30,6 +29,7 @@ from repro.harness.parallel import (  # noqa: F401  (run_grid re-exported)
     default_jobs,
     run_grid,
 )
+from repro.harness.perflog import append_record
 from repro.harness.report import format_table
 from repro.harness.runner import FULL_CACHE_BYTES, scale_factor
 
@@ -94,16 +94,9 @@ def pytest_sessionfinish(session, exitstatus):
             for grid in GRID_REPORTS
         ],
     }
-    history = []
-    if PERF_JSON.exists():
-        try:
-            history = json.loads(PERF_JSON.read_text())
-        except ValueError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(record)
-    PERF_JSON.write_text(json.dumps(history, indent=2) + "\n")
+    # keep the JSON trajectory bounded; older sessions rotate into
+    # BENCH_perf.history.jsonl (see repro.harness.perflog)
+    append_record(PERF_JSON, record)
 
     rows = []
     for grid in GRID_REPORTS:

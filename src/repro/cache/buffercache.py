@@ -64,6 +64,18 @@ class BufferCache:
         self.hits = 0
         self.misses = 0
         self.flushes_forced = 0
+        obs = engine.obs
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._m_lock_wait = registry.histogram("cache.lock_wait")
+            self._m_lock_waits = registry.counter("cache.lock_waits")
+            self._m_hits = registry.counter("cache.hits")
+            self._m_misses = registry.counter("cache.misses")
+            self._m_forced = registry.counter("cache.forced_flushes")
+            self._m_reclaim_waits = registry.counter("cache.reclaim_waits")
+        else:
+            self._m_lock_wait = None
         #: optional provider of extra dependency ids attached to every write
         #: (scheduler chains' barrier-dealloc ablation mode)
         self.global_write_deps = None
@@ -87,10 +99,22 @@ class BufferCache:
         if size <= 0 or size % self.frag_size != 0:
             raise ValueError(f"buffer size {size} is not a whole fragment count")
         yield from self.cpu.compute(self.costs.time("getblk"))
+        # lock-wait accounting is opened lazily on the first sleep and closed
+        # on whichever exit path acquires the buffer; the loop structure (and
+        # therefore every wakeup and timestamp) is identical with tracing off
+        obs = self._obs
+        wait_span = None
+        wait_start = 0.0
         while True:
             buf = self._buffers.get(daddr)
             if buf is not None:
                 if buf.busy:
+                    if obs is not None and wait_span is None:
+                        wait_start = self.engine.now
+                        wait_span = obs.tracer.begin(
+                            "cache.lock_wait", "cache",
+                            args={"daddr": daddr, "owner": buf.owner})
+                        self._m_lock_waits.inc()
                     yield buf.waitq.wait()
                     continue
                 if size > buf.size:
@@ -104,6 +128,11 @@ class BufferCache:
                         f"({buf.size} bytes); missing invalidation?")
                 self._make_busy(buf)
                 self.hits += 1
+                if obs is not None:
+                    self._m_hits.inc()
+                    if wait_span is not None:
+                        obs.tracer.end(wait_span)
+                        self._m_lock_wait.observe(self.engine.now - wait_start)
                 return buf
             yield from self._reclaim(size)
             if daddr in self._buffers:
@@ -113,12 +142,21 @@ class BufferCache:
             self.used_bytes += size
             self._make_busy(buf)
             self.misses += 1
+            if obs is not None:
+                self._m_misses.inc()
+                if wait_span is not None:
+                    obs.tracer.end(wait_span)
+                    self._m_lock_wait.observe(self.engine.now - wait_start)
             return buf
 
     def bread(self, daddr: int, size: int) -> Generator:
         """Acquire the buffer and ensure it holds the disk contents."""
         buf = yield from self.getblk(daddr, size)
         if not buf.valid:
+            obs = self._obs
+            span = obs.tracer.begin("cache.read_miss", "cache",
+                                    args={"daddr": daddr}) \
+                if obs is not None else None
             yield from self.cpu.compute(self.costs.time("io_setup"))
             nsectors = (size // self.frag_size) * self.sectors_per_frag
             request = self.driver.read(self._lbn(daddr), nsectors,
@@ -127,6 +165,8 @@ class BufferCache:
             buf.data[:] = self.driver.disk.storage.read(
                 self._lbn(daddr), size // self.frag_size * self.sectors_per_frag)
             buf.valid = True
+            if span is not None:
+                obs.tracer.end(span)
         return buf
 
     def peek(self, daddr: int) -> Optional[Buffer]:
@@ -163,8 +203,14 @@ class BufferCache:
         if self.block_copy:
             yield from self.cpu.compute(self.costs.block_copy(buf.size))
         yield from self.cpu.compute(self.costs.time("io_setup"))
+        obs = self._obs
+        span = obs.tracer.begin("cache.write_wait", "cache",
+                                args={"daddr": buf.daddr}) \
+            if obs is not None else None
         request = self._issue_write(buf, flag, depends_on)
         yield request.done
+        if span is not None:
+            obs.tracer.end(span)
         return request
 
     def start_flush(self, buf: Buffer) -> Optional[DiskRequest]:
@@ -264,6 +310,9 @@ class BufferCache:
                     self.flushes_forced += 1
                     if started >= 16:
                         break
+            if self._obs is not None:
+                self._m_forced.inc(started)
+                self._m_reclaim_waits.inc()
             yield self._space.wait()
         return None
 

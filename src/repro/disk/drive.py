@@ -71,6 +71,17 @@ class Disk:
         self.cache = PrefetchCache(cache_segments, prefetch_sectors,
                                    self.geometry.total_sectors)
         self.stats = DiskStats()
+        obs = engine.obs
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._m_service = registry.histogram("disk.service_time")
+            self._m_seek = registry.counter("disk.seek_time")
+            self._m_rotation = registry.counter("disk.rotation_time")
+            self._m_transfer = registry.counter("disk.transfer_time")
+            self._m_cache_hits = registry.counter("disk.cache_hit_reads")
+        else:
+            self._m_service = None
         self._current_cylinder = 0
         #: set to True to make service() free (image population, not benchmarks)
         self.instant = False
@@ -113,6 +124,12 @@ class Disk:
                        + self.params.bus_time(self.geometry, nsectors))
             yield self.engine.timeout(service)
             self._account(start, 0.0, 0.0, 0.0)
+            if self._obs is not None:
+                self._m_cache_hits.inc()
+                self._m_service.observe(self.engine.now - start)
+                self._obs.tracer.record(
+                    "disk.cache_hit", "disk", start, self.engine.now, "drive",
+                    args={"lbn": lbn, "nsectors": nsectors})
             return self.engine.now - start
 
         cylinder, _head, sector = self.geometry.decompose(lbn)
@@ -138,9 +155,44 @@ class Disk:
         self._finish(lbn, nsectors, is_write, data)
         self._current_cylinder = self.geometry.cylinder_of(lbn + nsectors - 1)
         self._account(start, seek, rotation, transfer)
+        if self._obs is not None:
+            self._record_service(start, seek, rotation, transfer,
+                                 lbn, nsectors, is_write)
         return self.engine.now - start
 
     # ------------------------------------------------------------------
+    def _record_service(self, start: float, seek: float, rotation: float,
+                        transfer: float, lbn: int, nsectors: int,
+                        is_write: bool) -> None:
+        """Tracing-on accounting: the mechanical phase breakdown as spans.
+
+        The drive serves one request at a time, so these intervals nest
+        properly on the dedicated ``drive`` track.  Built entirely from
+        timestamps already computed by :meth:`service`.
+        """
+        obs = self._obs
+        end = self.engine.now
+        self._m_service.observe(end - start)
+        self._m_seek.inc(seek)
+        self._m_rotation.inc(rotation)
+        self._m_transfer.inc(transfer)
+        name = "disk.write" if is_write else "disk.read"
+        outer = obs.tracer.record(
+            name, "disk", start, end, "drive",
+            args={"lbn": lbn, "nsectors": nsectors})
+        record = obs.tracer.record
+        at = start + self.params.controller_overhead
+        if seek:
+            record("seek", "disk", at, at + seek, "drive", parent=outer.id)
+        at += seek
+        if rotation:
+            record("rotate", "disk", at, at + rotation, "drive",
+                   parent=outer.id)
+        at += rotation
+        if transfer:
+            record("transfer", "disk", at, at + transfer, "drive",
+                   parent=outer.id)
+
     def _finish(self, lbn: int, nsectors: int, is_write: bool,
                 data: Optional[bytes]) -> None:
         if is_write:

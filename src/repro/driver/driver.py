@@ -87,6 +87,20 @@ class DeviceDriver:
         #: completed requests, in completion order
         self.trace: list[DiskRequest] = []
         self.requests_issued = 0
+        # observability (None = off; instruments captured once, updates are
+        # a single is-not-None check on the hot paths)
+        obs = engine.obs
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._m_queue_wait = registry.histogram("driver.queue_wait")
+            self._m_reads = registry.counter("driver.reads")
+            self._m_writes = registry.counter("driver.writes")
+            self._m_flagged = registry.counter("driver.flagged_writes")
+            self._m_batches = registry.counter("driver.batches")
+            self._m_queue_peak = registry.gauge("driver.queue_peak")
+        else:
+            self._m_queue_wait = None
         self._process = engine.process(self._run(), name="disk-driver")
 
     # -- public API -------------------------------------------------------
@@ -114,6 +128,12 @@ class DeviceDriver:
         self.policy.on_issue(request)
         self._pending[request.id] = request
         self.requests_issued += 1
+        obs = self._obs
+        if obs is not None:
+            request.trace_parent = obs.tracer.current()
+            self._m_queue_peak.track_max(len(self._pending))
+            if flag:
+                self._m_flagged.inc()
         if self.policy.eligibility == "generic":
             self._recheck_generic_eligible()
         self._classify(request)
@@ -331,6 +351,8 @@ class DeviceDriver:
                             del self._write_fifo[sector]
                 self.policy.on_complete(request)
                 self.trace.append(request)
+            if self._obs is not None:
+                self._record_batch(batch)
             self._after_completions(batch)
             # completion callbacks run after *all* policy bookkeeping so a
             # callback that issues new I/O sees a consistent policy state
@@ -343,6 +365,28 @@ class DeviceDriver:
                 request.done.succeed(request)
             # wake anyone waiting for queue drain / eligibility changes
             self._work.broadcast()
+
+    def _record_batch(self, batch: list[DiskRequest]) -> None:
+        """Tracing-on completion path: queue-residency spans + metrics.
+
+        Purely retrospective -- built from the stamps the driver keeps
+        anyway, so the traced dispatch sequence is identical to untraced.
+        """
+        tracer = self._obs.tracer
+        queue_wait = self._m_queue_wait
+        self._m_batches.inc()
+        for request in batch:
+            queue_wait.observe(request.queue_delay)
+            (self._m_writes if request.is_write else self._m_reads).inc()
+            name = ("driver.queue.write" if request.is_write
+                    else "driver.queue.read")
+            tracer.record_async(
+                name, "driver", request.issue_time, request.dispatch_time,
+                "driver.queue", async_id=request.id,
+                parent=request.trace_parent,
+                args={"id": request.id, "lbn": request.lbn,
+                      "nsectors": request.nsectors, "issuer": request.issuer,
+                      "flag": request.flag})
 
     # -- selection ----------------------------------------------------------
     def _select_batch(self) -> Optional[list[DiskRequest]]:

@@ -39,7 +39,7 @@ class DiskRequest:
 
     __slots__ = ("id", "kind", "lbn", "nsectors", "data", "flag", "depends_on",
                  "issuer", "issue_time", "dispatch_time", "complete_time",
-                 "done", "on_complete")
+                 "done", "on_complete", "trace_parent")
 
     def __init__(self, engine: Engine, request_id: int, kind: IOKind,
                  lbn: int, nsectors: int, data: Optional[bytes] = None,
@@ -65,6 +65,9 @@ class DiskRequest:
         self.complete_time: float = -1.0
         self.done: Event = Event(engine)
         self.on_complete: list[Callable[["DiskRequest"], None]] = []
+        #: id of the span that issued this request (tracing only; None when
+        #: observability is off)
+        self.trace_parent: Optional[int] = None
 
     # -- derived metrics (valid once complete) ---------------------------
     @property

@@ -45,6 +45,31 @@ class OpenFile:
         self.closed = False
 
 
+def _syscall(fn):
+    """Trace a syscall generator method when observability is on.
+
+    With tracing off the original generator is returned untouched -- the
+    call costs one attribute check, which keeps the disabled overhead inside
+    the budget in ``docs/observability.md``.  With tracing on the generator
+    is driven through :meth:`FileSystem._traced_syscall`, which brackets it
+    in a ``syscall.<name>`` span and bumps the per-syscall counter.
+    """
+    name = fn.__name__
+
+    def wrapper(self, *args, **kwargs):
+        gen = fn(self, *args, **kwargs)
+        obs = self.engine.obs
+        if obs is None:
+            return gen
+        return self._traced_syscall(name, gen, obs)
+
+    wrapper.__name__ = name
+    wrapper.__qualname__ = fn.__qualname__
+    wrapper.__doc__ = fn.__doc__
+    wrapper.__wrapped__ = fn
+    return wrapper
+
+
 def _split(path: str) -> list[str]:
     if not path.startswith("/"):
         raise FsError("EINVAL", f"path must be absolute: {path!r}")
@@ -523,6 +548,18 @@ class FileSystem:
         self.op_counts[name] = self.op_counts.get(name, 0) + 1
         yield from self.cpu.compute(self.costs.time("syscall"))
 
+    def _traced_syscall(self, name: str, gen: Generator,
+                        obs) -> Generator:
+        """Drive *gen* inside a ``syscall.<name>`` span (tracing on only)."""
+        obs.registry.counter(f"syscall.{name}").inc()
+        span = obs.tracer.begin(f"syscall.{name}", "syscall")
+        try:
+            result = yield from gen
+        finally:
+            obs.tracer.end(span)
+        return result
+
+    @_syscall
     def create(self, path: str) -> Generator:
         """Create a regular file; returns an :class:`OpenFile`."""
         yield from self._count("create")
@@ -551,6 +588,7 @@ class FileSystem:
             self.iput(dp)
         return OpenFile(ip)
 
+    @_syscall
     def mkdir(self, path: str) -> Generator:
         """Create a directory."""
         yield from self._count("mkdir")
@@ -592,6 +630,7 @@ class FileSystem:
             dp.lock.release()
             self.iput(dp)
 
+    @_syscall
     def unlink(self, path: str) -> Generator:
         """Remove a file's directory entry (and the file at zero links)."""
         yield from self._count("unlink")
@@ -615,6 +654,7 @@ class FileSystem:
             dp.lock.release()
             self.iput(dp)
 
+    @_syscall
     def rmdir(self, path: str) -> Generator:
         """Remove an empty directory."""
         yield from self._count("rmdir")
@@ -644,6 +684,7 @@ class FileSystem:
             dp.lock.release()
             self.iput(dp)
 
+    @_syscall
     def link(self, existing: str, newpath: str) -> Generator:
         """Add a hard link to an existing file."""
         yield from self._count("link")
@@ -668,6 +709,7 @@ class FileSystem:
             self.iput(dp)
             self.iput(ip)
 
+    @_syscall
     def rename(self, oldpath: str, newpath: str) -> Generator:
         """Rename: add the new link, then remove the old (paper section 1).
 
@@ -718,6 +760,7 @@ class FileSystem:
         return True
 
     # -- open / read / write -------------------------------------------------
+    @_syscall
     def open(self, path: str) -> Generator:
         """Open an existing file."""
         yield from self._count("open")
@@ -727,6 +770,7 @@ class FileSystem:
             raise FsError("EISDIR", path)
         return OpenFile(ip)
 
+    @_syscall
     def close(self, handle: OpenFile) -> Generator:
         """Close: schedule the inode's timestamps/size for stable storage."""
         yield from self._count("close")
@@ -740,6 +784,7 @@ class FileSystem:
             # last close of an already-unlinked file: release it now
             yield from self.scheme.release_inode(ip)
 
+    @_syscall
     def write(self, handle: OpenFile, data: bytes) -> Generator:
         """Write *data* at the handle's offset; returns bytes written."""
         yield from self._count("write")
@@ -773,6 +818,7 @@ class FileSystem:
             ip.lock.release()
         return len(data)
 
+    @_syscall
     def read(self, handle: OpenFile, nbytes: int) -> Generator:
         """Read up to *nbytes* from the handle's offset."""
         yield from self._count("read")
@@ -825,6 +871,7 @@ class FileSystem:
         yield from self.close(handle)
         return b"".join(pieces)
 
+    @_syscall
     def stat(self, path: str) -> Generator:
         """Return a copy of the inode's attributes."""
         yield from self._count("stat")
@@ -834,6 +881,7 @@ class FileSystem:
         self.iput(ip)
         return din
 
+    @_syscall
     def readdir(self, path: str) -> Generator:
         """List the live entry names of a directory (excluding '.', '..')."""
         yield from self._count("readdir")
@@ -857,6 +905,7 @@ class FileSystem:
             self.iput(dp)
         return names
 
+    @_syscall
     def truncate(self, path: str) -> Generator:
         """Truncate a regular file to zero length (the O_TRUNC pattern)."""
         yield from self._count("truncate")
@@ -876,11 +925,13 @@ class FileSystem:
             ip.lock.release()
             self.iput(ip)
 
+    @_syscall
     def fsync(self, handle: OpenFile) -> Generator:
         """SYNCIO: the handle's file is durable when this returns."""
         yield from self._count("fsync")
         yield from self.scheme.fsync(handle.ip)
 
+    @_syscall
     def sync(self) -> Generator:
         """Flush all dirty state (deferred work included) to the disk."""
         yield from self.scheme.drain()

@@ -7,6 +7,8 @@ configuration, and produces rows in the paper's format.  The benchmark suite
 """
 
 from repro.harness.metrics import RunResult, collect
+from repro.harness.parallel import GridCellError, run_grid
+from repro.harness.perflog import append_record
 from repro.harness.runner import (
     SchemeSpec,
     STANDARD_SCHEMES,
@@ -19,14 +21,17 @@ from repro.harness.runner import (
 from repro.harness.report import format_table
 
 __all__ = [
+    "GridCellError",
     "RunResult",
     "STANDARD_SCHEMES",
     "SchemeSpec",
+    "append_record",
     "build_machine",
     "collect",
     "flag_variant",
     "format_table",
     "run_copy",
+    "run_grid",
     "run_remove",
     "scale_factor",
 ]

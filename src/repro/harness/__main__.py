@@ -1,12 +1,20 @@
-"""Command-line entry point: ``python -m repro.harness [scale]``.
+"""Command-line entry point.
 
-Runs the headline comparison (tables 1 and 2) at the given scale (default
-0.08, a quick look) and prints the paper-style rows.
+``python -m repro.harness [scale]``
+    Runs the headline comparison (tables 1 and 2) at the given scale
+    (default 0.08, a quick look) and prints the paper-style rows.
+
+``python -m repro.harness trace <copy|remove> [--scheme S] [options]``
+    Runs one benchmark cell with observability on and writes a
+    Perfetto-loadable ``trace_event`` JSON plus a plain-text flame summary
+    under ``results/traces/`` (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from pathlib import Path
 
 from repro.harness.report import format_table
 from repro.harness.runner import (
@@ -18,8 +26,28 @@ from repro.harness.runner import (
 )
 from repro.workloads.trees import TreeSpec
 
+#: short scheme aliases accepted by the trace subcommand
+SCHEME_ALIASES = {
+    "noorder": "No Order",
+    "conventional": "Conventional",
+    "flag": "Scheduler Flag",
+    "chains": "Scheduler Chains",
+    "softupdates": "Soft Updates",
+}
 
-def main(argv: list[str]) -> int:
+
+def _resolve_scheme(name: str) -> str:
+    if name in STANDARD_SCHEMES:
+        return name
+    try:
+        return SCHEME_ALIASES[name.lower()]
+    except KeyError:
+        choices = sorted(SCHEME_ALIASES) + STANDARD_SCHEMES
+        raise SystemExit(f"unknown scheme {name!r}; choose from {choices}")
+
+
+def compare_main(argv: list[str]) -> int:
+    """The original headline comparison (``python -m repro.harness [scale]``)."""
     scale = float(argv[1]) if len(argv) > 1 else 0.08
     tree = TreeSpec().scaled(scale)
     cache = max(1 << 20, int(FULL_CACHE_BYTES * scale))
@@ -42,6 +70,71 @@ def main(argv: list[str]) -> int:
              "Disk requests", "I/O resp (ms)"], rows))
         print()
     return 0
+
+
+def trace_main(argv: list[str]) -> int:
+    """Run one traced benchmark cell and export timeline + flame summary."""
+    from repro.obs import flame_summary, summarize, write_trace
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness trace",
+        description="Run one benchmark cell with tracing on and export a "
+                    "Perfetto trace + flame summary.")
+    parser.add_argument("bench", choices=["copy", "remove"],
+                        help="which benchmark to trace")
+    parser.add_argument("--scheme", default="softupdates",
+                        help="ordering scheme (alias like 'softupdates' or "
+                             "full name like 'Soft Updates')")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="workload scale, 1.0 = paper scale "
+                             "(default 0.05: traces stay small)")
+    parser.add_argument("--users", type=int, default=1,
+                        help="concurrent user processes (default 1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="tree RNG seed (default: the spec's own)")
+    parser.add_argument("--out", default="results/traces",
+                        help="output directory (default results/traces)")
+    args = parser.parse_args(argv)
+
+    scheme = _resolve_scheme(args.scheme)
+    tree = TreeSpec().scaled(args.scale)
+    cache = max(1 << 20, int(FULL_CACHE_BYTES * args.scale))
+    config = standard_scheme_config(scheme, cache_bytes=cache)
+    config.observe = True
+
+    captured = {}
+    runner = run_copy if args.bench == "copy" else run_remove
+    label = f"{args.bench} {scheme} scale={args.scale} users={args.users}"
+    result = runner(config, args.users, tree, label=label, seed=args.seed,
+                    on_machine=lambda machine: captured.update(m=machine))
+    machine = captured["m"]
+
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    slug = f"{args.bench}-{scheme.lower().replace(' ', '-')}"
+    trace_path = outdir / f"{slug}.trace.json"
+    flame_path = outdir / f"{slug}.flame.txt"
+    write_trace(machine.obs, trace_path, label=label)
+    flame_path.write_text(flame_summary(machine.obs, label=label) + "\n")
+
+    print(f"# traced {label}")
+    print(f"  elapsed {result.elapsed:.3f}s simulated, "
+          f"{result.disk_requests} disk requests, "
+          f"{len(machine.obs.tracer.spans)} spans, "
+          f"{machine.engine.events_processed} events")
+    for track, summary in sorted(summarize(machine.obs).items()):
+        print(f"  track {track}: {summary.active:.3f}s active, "
+              f"{100 * summary.coverage:.1f}% under named spans")
+    print(f"  wrote {trace_path}")
+    print(f"  wrote {flame_path}")
+    print("  open the JSON in https://ui.perfetto.dev to browse the timeline")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] == "trace":
+        return trace_main(argv[2:])
+    return compare_main(argv)
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ disk access / driver response times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.machine import Machine
 from repro.sim import Process
@@ -48,8 +48,19 @@ class RunResult:
     extra: dict = field(default_factory=dict)
 
     def as_row(self, columns: list[str]) -> list:
-        return [getattr(self, column) if hasattr(self, column)
+        """Resolve *columns* against the declared fields, then ``extra``.
+
+        Only the dataclass fields above count as attributes here: resolving
+        with ``hasattr`` would also match methods and properties (``as_row``
+        itself, ``extra``-shadowing helpers added later), silently returning
+        a bound method instead of the ``extra`` value of the same name.
+        """
+        return [getattr(self, column) if column in _RESULT_FIELDS
                 else self.extra.get(column, "") for column in columns]
+
+
+#: the declared measurement columns; computed once, used by as_row
+_RESULT_FIELDS = frozenset(f.name for f in fields(RunResult))
 
 
 def collect(machine: Machine, users: list[Process], after_request_id: int,
@@ -88,4 +99,8 @@ def collect(machine: Machine, users: list[Process], after_request_id: int,
         result.driver_response_avg = result.queue_avg + result.access_avg
         result.reads = sum(1 for r in window if not r.is_write)
         result.writes = len(window) - result.reads
+    if machine.obs is not None:
+        # observed run: fold the metrics registry into the extras so any
+        # instrument can be cited as a report column by name
+        result.extra.update(machine.obs.snapshot())
     return result

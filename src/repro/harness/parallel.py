@@ -29,10 +29,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-__all__ = ["Cell", "CellStats", "GridReport", "GRID_REPORTS",
+__all__ = ["Cell", "CellStats", "GridCellError", "GridReport", "GRID_REPORTS",
            "default_jobs", "run_grid"]
 
 
@@ -77,6 +78,35 @@ class GridReport:
         return sum(cell.sim_events for cell in self.cells)
 
 
+class GridCellError(RuntimeError):
+    """A grid cell's experiment raised.
+
+    Raised by :func:`run_grid` in the parent process, naming the grid and
+    the failing cell key -- a bare exception surfacing from a fork-pool
+    worker would otherwise leave no clue *which* (scheme, config) cell
+    died.  The worker-side traceback is carried in ``cell_traceback`` and
+    included in the message.
+    """
+
+    def __init__(self, grid: str, key: Any, error: str, tb: str) -> None:
+        super().__init__(
+            f"grid {grid!r} cell {key!r} failed: {error}\n"
+            f"--- worker traceback ---\n{tb}")
+        self.grid = grid
+        self.key = key
+        self.error = error
+        self.cell_traceback = tb
+
+
+@dataclass
+class _CellFailure:
+    """Worker-side capture of a cell exception (picklable, unlike many
+    exception objects with machine state attached)."""
+
+    error: str
+    traceback: str
+
+
 #: every grid executed this session, in execution order
 GRID_REPORTS: list[GridReport] = []
 
@@ -89,7 +119,11 @@ _WORK: list[Cell] = []
 def _run_cell(index: int):
     cell = _WORK[index]
     start = time.perf_counter()
-    result = cell.fn()
+    try:
+        result = cell.fn()
+    except Exception as exc:
+        result = _CellFailure(f"{type(exc).__name__}: {exc}",
+                              traceback.format_exc())
     return index, result, time.perf_counter() - start
 
 
@@ -135,10 +169,20 @@ def run_grid(name: str, cells: list, jobs: Optional[int] = None) -> dict:
     else:
         for index, cell in enumerate(cells):
             start = time.perf_counter()
-            result = cell.fn()
+            try:
+                result = cell.fn()
+            except Exception as exc:
+                result = _CellFailure(f"{type(exc).__name__}: {exc}",
+                                      traceback.format_exc())
             outcomes[index] = (result, time.perf_counter() - start)
 
     report.wall_seconds = time.perf_counter() - grid_start
+    # surface the first failure in *input* order (deterministic no matter
+    # which worker hit it or when), naming the cell that died
+    for cell, (result, _wall) in zip(cells, outcomes):
+        if isinstance(result, _CellFailure):
+            raise GridCellError(name, cell.key, result.error,
+                                result.traceback)
     results = {}
     for cell, (result, wall) in zip(cells, outcomes):
         results[cell.key] = result

@@ -1,0 +1,59 @@
+"""Bounded perf-trajectory log with rotation.
+
+``BENCH_perf.json`` holds one record per benchmark session.  Appending
+forever makes the file grow without bound (a session at scale 0.15 adds
+~1 KB per grid), so :func:`append_record` keeps only the most recent
+``keep`` sessions in the JSON file and rotates everything older into a
+sibling ``*.history.jsonl`` -- one JSON record per line, append-only, cheap
+to grep and safe to truncate independently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: sessions retained in the main JSON file by default
+DEFAULT_KEEP = 20
+
+
+def history_path_for(path: Path) -> Path:
+    """The rotation target next to *path* (``BENCH_perf.history.jsonl``)."""
+    return path.with_suffix("").with_suffix(".history.jsonl") \
+        if path.suffix == ".json" else path.with_name(path.name + ".history.jsonl")
+
+
+def load_records(path: Path) -> list:
+    """The record list currently in *path* (tolerates a legacy single dict,
+    a missing file, and unparseable content)."""
+    if not path.exists():
+        return []
+    try:
+        records = json.loads(path.read_text())
+    except ValueError:
+        return []
+    return records if isinstance(records, list) else [records]
+
+
+def append_record(path: Path, record: dict, keep: int = DEFAULT_KEEP,
+                  history_path: Path | None = None) -> list:
+    """Append *record* to the trajectory at *path*, keeping the last *keep*.
+
+    Overflowing records (oldest first) are appended to *history_path*
+    (default: :func:`history_path_for`) as JSON lines before being dropped
+    from the main file.  Returns the retained record list.
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    path = Path(path)
+    records = load_records(path)
+    records.append(record)
+    overflow, retained = records[:-keep], records[-keep:]
+    if overflow:
+        target = Path(history_path) if history_path is not None \
+            else history_path_for(path)
+        with target.open("a") as fh:
+            for old in overflow:
+                fh.write(json.dumps(old, separators=(",", ":")) + "\n")
+    path.write_text(json.dumps(retained, indent=2) + "\n")
+    return retained

@@ -129,11 +129,20 @@ def with_seed(tree: TreeSpec, seed: Optional[int]) -> TreeSpec:
 
 def run_copy(config: MachineConfig, users: int, tree: TreeSpec,
              label: str = "", settle: bool = True,
-             seed: Optional[int] = None) -> RunResult:
-    """N-user copy: returns the table-1-style measurements."""
+             seed: Optional[int] = None,
+             on_machine: Optional[Callable[[Machine], None]] = None
+             ) -> RunResult:
+    """N-user copy: returns the table-1-style measurements.
+
+    *on_machine* (if given) receives the machine right after it is built --
+    the trace CLI uses it to keep a handle for exporting the observability
+    session once the run finishes.
+    """
     wall_start = time.perf_counter()
     tree = with_seed(tree, seed)
     machine = build_machine(config)
+    if on_machine is not None:
+        on_machine(machine)
     populate_sources(machine, users, tree)
     mark = machine.driver.last_issued_id
     processes = [machine.spawn(copy_tree_user(machine, user),
@@ -150,7 +159,9 @@ def run_copy(config: MachineConfig, users: int, tree: TreeSpec,
 def run_remove(config: MachineConfig, users: int, tree: TreeSpec,
                label: str = "", settle: bool = True,
                cold_cache: bool = False,
-               seed: Optional[int] = None) -> RunResult:
+               seed: Optional[int] = None,
+               on_machine: Optional[Callable[[Machine], None]] = None
+               ) -> RunResult:
     """N-user remove: deletes freshly-copied trees.
 
     ``cold_cache=False`` models the paper's tables (the tree was "newly
@@ -162,6 +173,8 @@ def run_remove(config: MachineConfig, users: int, tree: TreeSpec,
     wall_start = time.perf_counter()
     tree = with_seed(tree, seed)
     machine = build_machine(config)
+    if on_machine is not None:
+        on_machine(machine)
 
     def builder():
         for user in range(users):

@@ -27,6 +27,7 @@ from repro.disk import Disk, DiskGeometry, DiskParameters
 from repro.driver import ChainsPolicy, DeviceDriver, FlagPolicy, FlagSemantics
 from repro.driver.ordering import OrderingPolicy
 from repro.fs import FileSystem, FSGeometry, mkfs
+from repro.obs import Observability
 from repro.ordering import (
     NoOrderScheme,
     OrderingScheme,
@@ -64,6 +65,10 @@ class MachineConfig:
     syncer_passes: int = 10
     #: force the block-copy setting instead of the scheme's preference
     block_copy: Optional[bool] = None
+    #: enable the repro.obs tracing + metrics layer (off by default; a
+    #: traced run is simulation-identical to an untraced one, just slower
+    #: on the host)
+    observe: bool = False
 
 
 class Machine:
@@ -73,6 +78,10 @@ class Machine:
         self.config = config or MachineConfig()
         cfg = self.config
         self.engine = Engine()
+        # observability is installed before any component is built so each
+        # one can capture its instruments (or None) exactly once
+        self.obs = Observability(self.engine).attach(self.engine) \
+            if cfg.observe else None
         self.cpu = CPU(self.engine)
         self.costs = cfg.costs
         self.disk = Disk(self.engine, geometry=cfg.disk_geometry,

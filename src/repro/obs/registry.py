@@ -1,0 +1,155 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+Components register instruments once (at construction, when the machine was
+built with observability on) and update them through direct attribute calls
+-- no name lookup on the hot path.  When observability is off, components
+hold ``None`` instead of an instrument and skip the update behind a single
+``is not None`` check, which is what keeps the disabled overhead within the
+budget documented in ``docs/observability.md``.
+
+``snapshot()`` flattens everything into a plain ``{name: number}`` dict
+(histograms contribute ``name.count`` / ``name.sum`` / ``name.avg``) so the
+harness can merge it into ``RunResult.extra`` and benchmark tables can cite
+any metric by name.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence
+
+#: default latency buckets (simulated seconds): 100us .. 10s, decade thirds
+TIME_BUCKETS = (0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03,
+                0.1, 0.3, 1.0, 3.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing value (int or float)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value, with high-watermark convenience."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def track_max(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus count/sum (Prometheus-style).
+
+    ``counts[i]`` is the number of observations ``<= bounds[i]``
+    (non-cumulative storage; cumulated at snapshot time); the final slot
+    counts overflows.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float] = TIME_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must ascend: {bounds}")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def avg(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_rows(self) -> list[tuple[str, int]]:
+        """(label, count) per bucket, overflow last; for reports."""
+        rows = [(f"<={bound:g}", count)
+                for bound, count in zip(self.bounds, self.counts)]
+        rows.append((f">{self.bounds[-1]:g}", self.counts[-1]))
+        return rows
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} avg={self.avg:.6f}>"
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named instruments."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = TIME_BUCKETS) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self.histograms[name] = Histogram(name, bounds)
+        elif tuple(bounds) != instrument.bounds:
+            raise ValueError(
+                f"histogram {name!r} re-registered with different bounds")
+        return instrument
+
+    def _check_free(self, name: str) -> None:
+        if name in self.counters or name in self.gauges \
+                or name in self.histograms:
+            raise ValueError(
+                f"metric {name!r} already registered as another type")
+
+    def snapshot(self) -> dict:
+        """Flatten every instrument into ``{name: number}``."""
+        flat: dict = {}
+        for name, counter in self.counters.items():
+            flat[name] = counter.value
+        for name, gauge in self.gauges.items():
+            flat[name] = gauge.value
+        for name, histogram in self.histograms.items():
+            flat[f"{name}.count"] = histogram.count
+            flat[f"{name}.sum"] = histogram.total
+            flat[f"{name}.avg"] = histogram.avg
+        return flat
+
+    def __repr__(self) -> str:
+        n = (len(self.counters) + len(self.gauges) + len(self.histograms))
+        return f"<MetricsRegistry instruments={n}>"

@@ -1,0 +1,37 @@
+"""CLI: validate trace_event JSON files (the CI trace-smoke check).
+
+Usage::
+
+    python -m repro.obs.validate results/traces/*.json
+
+Exits non-zero (printing the offending event) if any file fails the
+trace_event schema check in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.export import TraceFormatError, validate_trace_file
+
+
+def main(argv: list[str]) -> int:
+    paths = argv[1:]
+    if not paths:
+        print("usage: python -m repro.obs.validate TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            count = validate_trace_file(path)
+        except (TraceFormatError, ValueError, OSError) as err:
+            print(f"FAIL {path}: {err}")
+            failures += 1
+        else:
+            print(f"ok   {path}: {count} events")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -76,10 +76,40 @@ class OrderingScheme:
         if alloc_init is not None:
             self.alloc_init = alloc_init
         self.fs: "FileSystem" = None  # set by attach()
+        self._obs = None  # set by attach() when the machine observes
 
     def attach(self, fs: "FileSystem") -> None:
         """Bind to the mounted file system (called once at mount)."""
         self.fs = fs
+        self._obs = fs.engine.obs
+
+    # -- observability helpers (no-ops when tracing is off) ---------------
+    def _bump(self, name: str, amount=1) -> None:
+        """Increment the registry counter *name* when tracing is on."""
+        if self._obs is not None:
+            self._obs.registry.counter(name).inc(amount)
+
+    def _ordered_wait(self, gen: Generator, kind: str,
+                      **info) -> Generator:
+        """Run *gen* -- a blocking ordering write -- inside an
+        ``ordering.<kind>`` span, counting ``ordering.<kind>``.
+
+        This is how a scheme's *decision* (stall the process, tag a flag,
+        link a chain) shows up on the timeline.  With tracing off the
+        generator runs untouched.
+        """
+        obs = self._obs
+        if obs is None:
+            result = yield from gen
+            return result
+        obs.registry.counter(f"ordering.{kind}").inc()
+        span = obs.tracer.begin(f"ordering.{kind}", "ordering",
+                                args=info or None)
+        try:
+            result = yield from gen
+        finally:
+            obs.tracer.end(span)
+        return result
 
     @property
     def crash_guarantees(self) -> CrashGuarantees:
@@ -149,7 +179,8 @@ class OrderingScheme:
         be reused before the reset pointers reach stable storage.  Default:
         the conventional discipline (synchronous reset write, then free).
         """
-        yield from self.fs.flush_inode_sync(ip)
+        yield from self._ordered_wait(
+            self.fs.flush_inode_sync(ip), "sync_stall", point="truncate")
         yield from self.fs.free_block_list(runs)
 
     # -- unordered update points -------------------------------------------

@@ -28,12 +28,14 @@ class ConventionalScheme(OrderingScheme):
         # rule 3/1: the pointed-to inode reaches disk before the entry
         ibuf = yield from self.fs.load_inode_buf(ip.ino)
         self.fs.store_inode(ip, ibuf)
-        yield from self.fs.cache.bwrite(ibuf)      # synchronous
+        yield from self._ordered_wait(             # synchronous
+            self.fs.cache.bwrite(ibuf), "sync_stall", point="link_added")
         self.fs.cache.bdwrite(dbuf)                # last write: delayed
 
     def link_removed(self, dp, dbuf, offset, ip) -> Generator:
         # rule 1: the cleared entry reaches disk before the link count drops
-        yield from self.fs.cache.bwrite(dbuf)      # synchronous
+        yield from self._ordered_wait(             # synchronous
+            self.fs.cache.bwrite(dbuf), "sync_stall", point="link_removed")
         yield from self.fs.drop_link(ip)
 
     def block_allocated(self, ctx: AllocContext) -> Generator:
@@ -42,14 +44,18 @@ class ConventionalScheme(OrderingScheme):
         if moved:
             # rule 2 for fragment extension by move: the relocated pointer
             # reaches disk before the old run can be reused
-            yield from self.fs.flush_inode_sync(ctx.ip)
+            yield from self._ordered_wait(
+                self.fs.flush_inode_sync(ctx.ip), "sync_stall",
+                point="frag_move")
         if ctx.ibuf is not None:
             self.fs.cache.bdwrite(ctx.ibuf)
         if must_init:
             # rule 3: initialize the new block on disk before any pointer
             # to it can land (the pointer writes are delayed, so completing
             # this synchronous write first is sufficient)
-            yield from self.fs.cache.bwrite(ctx.data_buf)
+            yield from self._ordered_wait(
+                self.fs.cache.bwrite(ctx.data_buf), "sync_stall",
+                point="block_init")
         else:
             self.fs.cache.brelse(ctx.data_buf)
         if moved:
@@ -67,5 +73,6 @@ class ConventionalScheme(OrderingScheme):
         ibuf = yield from self.fs.load_inode_buf(ino)
         at = self.fs.geometry.inode_offset_in_block(ino)
         ibuf.data[at:at + 128] = bytes(128)
-        yield from self.fs.cache.bwrite(ibuf)      # synchronous reset
+        yield from self._ordered_wait(             # synchronous reset
+            self.fs.cache.bwrite(ibuf), "sync_stall", point="release_inode")
         yield from self.fs.free_block_list(runs)   # bitmaps: delayed

@@ -32,15 +32,19 @@ class NoOrderScheme(OrderingScheme):
         self.fs.store_inode(ip, ibuf)
         self.fs.cache.bdwrite(ibuf)
         self.fs.cache.bdwrite(dbuf)
+        self._bump("ordering.delayed_writes", 2)
 
     def link_removed(self, dp, dbuf, offset, ip) -> Generator:
         self.fs.cache.bdwrite(dbuf)
+        self._bump("ordering.delayed_writes")
         yield from self.fs.drop_link(ip)
 
     def block_allocated(self, ctx: AllocContext) -> Generator:
         if ctx.ibuf is not None:
             self.fs.cache.bdwrite(ctx.ibuf)
+            self._bump("ordering.delayed_writes")
         self.fs.cache.bdwrite(ctx.data_buf)
+        self._bump("ordering.delayed_writes")
         if ctx.old_daddr and ctx.old_daddr != ctx.new_daddr:
             # fragment moved: free the old run right away (unsafe ordering)
             self.fs.cache.invalidate(ctx.old_daddr, ctx.old_frags)

@@ -58,6 +58,7 @@ class SchedulerChainsScheme(OrderingScheme):
         request = yield from self.fs.cache.bawrite(ibuf)
         # the directory block's eventual write depends on the inode write
         dbuf.flush_deps.add(request.id)
+        self._bump("ordering.chain_links")
         self.fs.cache.bdwrite(dbuf)
 
     def link_removed(self, dp, dbuf, offset, ip) -> Generator:
@@ -65,6 +66,7 @@ class SchedulerChainsScheme(OrderingScheme):
         # the inode's next write (link count drop / reset) depends on it
         ibuf = yield from self.fs.load_inode_buf(ip.ino)
         ibuf.flush_deps.add(request.id)
+        self._bump("ordering.chain_links")
         self.fs.cache.brelse(ibuf)
         yield from self.fs.drop_link(ip)
 
@@ -79,6 +81,7 @@ class SchedulerChainsScheme(OrderingScheme):
                                                 ctx.new_daddr + ctx.new_frags)
                           if fragment in self._freed_frags}
         ctx.data_buf.flush_deps |= pending_resets
+        self._bump("ordering.chain_links", len(pending_resets))
         if moved:
             # issue the pointer update now so the old run's reuse can name it
             ibuf2 = yield from self.fs.load_inode_buf(ctx.ip.ino)
@@ -98,9 +101,11 @@ class SchedulerChainsScheme(OrderingScheme):
             else:
                 owner = ctx.ibuf
             owner.flush_deps |= pending_resets
+            self._bump("ordering.chain_links", len(pending_resets))
             if must_init:
                 init_request = yield from self.fs.cache.bawrite(ctx.data_buf)
                 owner.flush_deps.add(init_request.id)
+                self._bump("ordering.chain_links")
             else:
                 self.fs.cache.brelse(ctx.data_buf)
             if ctx.owner_kind == "inode":

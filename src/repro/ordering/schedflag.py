@@ -39,12 +39,14 @@ class SchedulerFlagScheme(OrderingScheme):
         # block write cannot be scheduled before it
         ibuf = yield from self.fs.load_inode_buf(ip.ino)
         self.fs.store_inode(ip, ibuf)
+        self._bump("ordering.flag_tags")
         yield from self.fs.cache.bawrite(ibuf, flag=True)
         self.fs.cache.bdwrite(dbuf)
 
     def link_removed(self, dp, dbuf, offset, ip) -> Generator:
         # the cleared-entry write is flagged; the inode updates that
         # drop_link issues afterwards are ordered behind it
+        self._bump("ordering.flag_tags")
         yield from self.fs.cache.bawrite(dbuf, flag=True)
         yield from self.fs.drop_link(ip)
 
@@ -61,6 +63,7 @@ class SchedulerFlagScheme(OrderingScheme):
             # rule 3: flagged initialization write (for regular data this is
             # the zero-filled reserved block of section 3.3; the real data
             # arrives with a later write)
+            self._bump("ordering.flag_tags")
             yield from self.fs.cache.bawrite(ctx.data_buf, flag=True)
         else:
             self.fs.cache.brelse(ctx.data_buf)
@@ -84,10 +87,12 @@ class SchedulerFlagScheme(OrderingScheme):
         ibuf.data[at:at + 128] = bytes(128)
         # flagged reset write: any write that reuses these blocks or this
         # inode slot is issued later and ordered behind it (rule 2)
+        self._bump("ordering.flag_tags")
         yield from self.fs.cache.bawrite(ibuf, flag=True)
         yield from self.fs.free_block_list(runs)
 
     def _flush_inode_flagged(self, ip) -> Generator:
         ibuf = yield from self.fs.load_inode_buf(ip.ino)
         self.fs.store_inode(ip, ibuf)
+        self._bump("ordering.flag_tags")
         yield from self.fs.cache.bawrite(ibuf, flag=True)

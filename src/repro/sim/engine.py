@@ -32,7 +32,8 @@ class Engine:
         assert eng.now == 1.5 and proc.value == "done"
     """
 
-    __slots__ = ("now", "_heap", "_seq", "current_process", "_event_count")
+    __slots__ = ("now", "_heap", "_seq", "current_process", "_event_count",
+                 "obs", "trace_hook")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -41,6 +42,12 @@ class Engine:
         #: the process currently being resumed (None outside process context)
         self.current_process = None
         self._event_count = 0
+        #: the machine's observability session (None = tracing off); set by
+        #: Observability.attach() before any component is constructed
+        self.obs = None
+        #: per-event dispatch hook ``hook(when, event)``; must be passive
+        #: (read-only) so dispatch order and timestamps never change
+        self.trace_hook = None
 
     # -- event construction ---------------------------------------------
     def event(self) -> Event:
@@ -82,6 +89,8 @@ class Engine:
             raise SimulationError(f"time went backwards: {when} < {self.now}")
         self.now = when
         self._event_count += 1
+        if self.trace_hook is not None:
+            self.trace_hook(when, event)
         event._process()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -97,6 +106,7 @@ class Engine:
         """
         heap = self._heap
         pop = heapq.heappop
+        hook = self.trace_hook
         processed = 0
         while heap:
             if until is not None and heap[0][0] > until:
@@ -107,6 +117,8 @@ class Engine:
                     f"time went backwards: {when} < {self.now}")
             self.now = when
             self._event_count += 1
+            if hook is not None:
+                hook(when, event)
             event._process()
             processed += 1
             if max_events is not None and processed > max_events:
@@ -126,6 +138,7 @@ class Engine:
         """
         heap = self._heap
         pop = heapq.heappop
+        hook = self.trace_hook
         processed = 0
         while heap and heap[0][0] <= when:
             event_when, _seq, event = pop(heap)
@@ -134,6 +147,8 @@ class Engine:
                     f"time went backwards: {event_when} < {self.now}")
             self.now = event_when
             self._event_count += 1
+            if hook is not None:
+                hook(event_when, event)
             event._process()
             processed += 1
             if max_events is not None and processed > max_events:
@@ -149,6 +164,7 @@ class Engine:
         """
         heap = self._heap
         pop = heapq.heappop
+        hook = self.trace_hook
         processed = 0
         while not event._processed:
             if not heap:
@@ -161,6 +177,8 @@ class Engine:
                     f"time went backwards: {when} < {self.now}")
             self.now = when
             self._event_count += 1
+            if hook is not None:
+                hook(when, next_event)
             next_event._process()
             processed += 1
             if max_events is not None and processed > max_events:

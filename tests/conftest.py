@@ -28,7 +28,8 @@ SAFE_SCHEMES = ["conventional", "flag", "chains", "softupdates"]
 
 
 def make_machine(scheme_name="noorder", geometry=SMALL_GEOMETRY,
-                 cache_bytes=2 * 1024 * 1024, free_cpu=True, **scheme_kwargs):
+                 cache_bytes=2 * 1024 * 1024, free_cpu=True, observe=False,
+                 **scheme_kwargs):
     """A formatted machine with the given scheme mounted."""
     scheme = SCHEME_FACTORIES[scheme_name](**scheme_kwargs)
     config = MachineConfig(
@@ -36,6 +37,7 @@ def make_machine(scheme_name="noorder", geometry=SMALL_GEOMETRY,
         fs_geometry=geometry,
         cache_bytes=cache_bytes,
         costs=CostModel(scale=0.0 if free_cpu else 1.0),
+        observe=observe,
     )
     machine = Machine(config)
     machine.format()

@@ -46,6 +46,58 @@ class TestCollect:
         assert result.disk_requests == 0
         assert result.elapsed == 0.0
 
+    def test_users_completing_without_io_yield_zero_request_window(self):
+        """A window with zero completed requests must not divide by zero:
+        users that never touch the disk still report their elapsed time."""
+        machine = make_machine("noorder", free_cpu=False)
+
+        def idle():
+            yield machine.engine.timeout(0.5)
+
+        process = machine.engine.process(idle(), name="idle")
+        machine.engine.run_until(process, max_events=1_000_000)
+        result = collect(machine, [process], machine.driver.last_issued_id)
+        assert result.disk_requests == 0
+        assert result.reads == result.writes == 0
+        assert result.io_response_avg == 0.0
+        assert result.queue_avg == 0.0
+        assert result.driver_response_avg == 0.0
+        assert result.elapsed == pytest.approx(0.5)
+
+    def test_reads_only_window(self):
+        """A cold-cache read workload produces a pure-read window: the
+        writes counter stays zero and reads account for every request."""
+        machine = make_machine("noorder")
+        run_user(machine, machine.fs.write_file("/r", b"r" * 65536),
+                 name="setup")
+        machine.sync_and_settle()
+        machine.drop_caches()
+        mark = machine.driver.last_issued_id
+
+        def reader():
+            data = yield from machine.fs.read_file("/r")
+            assert data == b"r" * 65536
+
+        process = machine.engine.process(reader(), name="reader")
+        machine.engine.run_until(process, max_events=5_000_000)
+        result = collect(machine, [process], mark)
+        assert result.disk_requests > 0
+        assert result.writes == 0
+        assert result.reads == result.disk_requests
+        assert result.io_response_avg > 0
+
+    def test_after_request_id_past_trace_end(self):
+        """A mark beyond the last issued id selects the empty window rather
+        than raising or going negative."""
+        machine = make_machine("conventional")
+        run_user(machine, machine.fs.write_file("/w", b"w" * 4096))
+        machine.sync_and_settle()
+        mark = machine.driver.last_issued_id + 1_000_000
+        result = collect(machine, [], mark)
+        assert result.disk_requests == 0
+        assert result.access_avg == 0.0
+        assert result.sim_events == machine.engine.events_processed
+
     def test_driver_response_is_queue_plus_service(self):
         """driver_response_avg must be computed from the dispatch stamps
         (queue wait + drive service), not copied from io_response_avg."""
@@ -73,6 +125,20 @@ class TestRunResult:
         result.extra["throughput"] = 42
         assert result.as_row(["scheme", "elapsed", "throughput"]) \
             == ["X", 1.5, 42]
+
+    def test_as_row_extra_keys_shadowed_by_methods_resolve_to_extra(self):
+        """Only declared dataclass *fields* resolve as attributes.  A
+        ``hasattr`` check would also match methods -- ``as_row`` itself --
+        and return a bound method instead of the extra's value."""
+        result = RunResult(scheme="X")
+        result.extra["as_row"] = "column named like a method"
+        result.extra["collect"] = 7
+        assert result.as_row(["as_row", "collect"]) \
+            == ["column named like a method", 7]
+
+    def test_as_row_unknown_column_is_blank(self):
+        result = RunResult(scheme="X")
+        assert result.as_row(["no-such-column"]) == [""]
 
 
 class TestFormatters:

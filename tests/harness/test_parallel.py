@@ -9,6 +9,7 @@ from repro.driver import DeviceDriver, FlagPolicy, FlagSemantics
 from repro.harness.parallel import (
     GRID_REPORTS,
     Cell,
+    GridCellError,
     GridReport,
     default_jobs,
     run_grid,
@@ -79,6 +80,42 @@ class TestRunGrid:
     def test_results_without_sim_events_record_zero(self):
         run_grid("t-plain", [("x", lambda: 41)], jobs=1)
         assert GRID_REPORTS[-1].cells[0].sim_events == 0
+
+
+def _boom():
+    raise ValueError("synthetic cell failure")
+
+
+class TestGridCellError:
+    """A worker exception must surface naming the failing cell, not as a
+    bare pickled traceback from somewhere inside the pool."""
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_failure_names_grid_and_cell(self, jobs):
+        cells = [("ok0", lambda: 1),
+                 (("Soft Updates", "4 users"), _boom),
+                 ("ok1", lambda: 2)]
+        with pytest.raises(GridCellError) as excinfo:
+            run_grid("t-fail", cells, jobs=jobs)
+        err = excinfo.value
+        assert err.grid == "t-fail"
+        assert err.key == ("Soft Updates", "4 users")
+        assert "ValueError: synthetic cell failure" in err.error
+        assert "synthetic cell failure" in err.cell_traceback
+        assert "Soft Updates" in str(err)
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_first_failure_in_input_order_wins(self, jobs):
+        cells = [("a", lambda: 1), ("b", _boom), ("c", _boom)]
+        with pytest.raises(GridCellError) as excinfo:
+            run_grid("t-first", cells, jobs=jobs)
+        assert excinfo.value.key == "b"
+
+    def test_failed_grid_records_no_report(self):
+        before = len(GRID_REPORTS)
+        with pytest.raises(GridCellError):
+            run_grid("t-noreport", [("x", _boom)], jobs=1)
+        assert len(GRID_REPORTS) == before
 
 
 class TestDefaultJobs:

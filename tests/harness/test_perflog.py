@@ -1,0 +1,86 @@
+"""Rotation of the BENCH_perf.json trajectory into its history sidecar."""
+
+import json
+
+import pytest
+
+from repro.harness.perflog import (
+    DEFAULT_KEEP,
+    append_record,
+    history_path_for,
+    load_records,
+)
+
+
+def record(n: int) -> dict:
+    return {"session": n, "wall_seconds": float(n)}
+
+
+class TestHistoryPath:
+    def test_json_suffix_swapped(self, tmp_path):
+        assert history_path_for(tmp_path / "BENCH_perf.json") \
+            == tmp_path / "BENCH_perf.history.jsonl"
+
+    def test_other_suffixes_appended(self, tmp_path):
+        assert history_path_for(tmp_path / "perf.dat").name \
+            == "perf.dat.history.jsonl"
+
+
+class TestLoadRecords:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_records(tmp_path / "nope.json") == []
+
+    def test_legacy_single_dict_wrapped(self, tmp_path):
+        path = tmp_path / "perf.json"
+        path.write_text(json.dumps(record(1)))
+        assert load_records(path) == [record(1)]
+
+    def test_garbage_tolerated(self, tmp_path):
+        path = tmp_path / "perf.json"
+        path.write_text("{not json")
+        assert load_records(path) == []
+
+
+class TestAppendRecord:
+    def test_appends_below_cap_without_history(self, tmp_path):
+        path = tmp_path / "perf.json"
+        for n in range(3):
+            retained = append_record(path, record(n), keep=5)
+        assert retained == [record(0), record(1), record(2)]
+        assert load_records(path) == retained
+        assert not history_path_for(path).exists()
+
+    def test_rotates_overflow_into_history_jsonl(self, tmp_path):
+        path = tmp_path / "perf.json"
+        for n in range(7):
+            append_record(path, record(n), keep=3)
+        # main file: the newest 3 only
+        assert [r["session"] for r in load_records(path)] == [4, 5, 6]
+        # history: the 4 rotated-out sessions, oldest first, one per line
+        lines = history_path_for(path).read_text().splitlines()
+        assert [json.loads(line)["session"] for line in lines] == [0, 1, 2, 3]
+
+    def test_main_file_never_exceeds_keep(self, tmp_path):
+        path = tmp_path / "perf.json"
+        for n in range(2 * DEFAULT_KEEP + 5):
+            retained = append_record(path, record(n))
+            assert len(retained) <= DEFAULT_KEEP
+        assert len(load_records(path)) == DEFAULT_KEEP
+
+    def test_explicit_history_path(self, tmp_path):
+        path = tmp_path / "perf.json"
+        history = tmp_path / "elsewhere.jsonl"
+        append_record(path, record(0), keep=1, history_path=history)
+        append_record(path, record(1), keep=1, history_path=history)
+        assert json.loads(history.read_text().splitlines()[0]) == record(0)
+        assert not history_path_for(path).exists()
+
+    def test_legacy_dict_file_upgraded_in_place(self, tmp_path):
+        path = tmp_path / "perf.json"
+        path.write_text(json.dumps(record(0)))
+        retained = append_record(path, record(1), keep=5)
+        assert retained == [record(0), record(1)]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_record(tmp_path / "perf.json", record(0), keep=0)

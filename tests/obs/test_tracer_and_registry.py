@@ -1,0 +1,181 @@
+"""Unit tests for the span tracer and the metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    TIME_BUCKETS,
+    Tracer,
+    trace_events,
+    validate_trace_events,
+)
+from repro.obs.export import TraceFormatError
+from repro.sim import Engine
+
+
+def make_engine_at(now: float = 0.0) -> Engine:
+    engine = Engine()
+    engine.now = now
+    return engine
+
+
+class TestTracer:
+    def test_begin_end_records_interval(self):
+        engine = make_engine_at(1.0)
+        tracer = Tracer(engine)
+        span = tracer.begin("op", "test", track="t")
+        assert not span.closed
+        engine.now = 3.5
+        tracer.end(span)
+        assert span.closed
+        assert span.duration == pytest.approx(2.5)
+
+    def test_nesting_sets_parent_on_same_track(self):
+        engine = make_engine_at()
+        tracer = Tracer(engine)
+        outer = tracer.begin("outer", "test", track="t")
+        inner = tracer.begin("inner", "test", track="t")
+        assert inner.parent == outer.id
+        assert tracer.current("t") == inner.id
+        tracer.end(inner)
+        assert tracer.current("t") == outer.id
+        tracer.end(outer)
+        assert tracer.current("t") is None
+
+    def test_tracks_are_independent(self):
+        engine = make_engine_at()
+        tracer = Tracer(engine)
+        a = tracer.begin("a", "test", track="one")
+        b = tracer.begin("b", "test", track="two")
+        assert b.parent is None
+        assert tracer.current("one") == a.id
+
+    def test_end_closes_orphaned_children(self):
+        engine = make_engine_at()
+        tracer = Tracer(engine)
+        outer = tracer.begin("outer", "test", track="t")
+        inner = tracer.begin("inner", "test", track="t")
+        engine.now = 2.0
+        tracer.end(outer)  # unwinds past the still-open inner
+        assert inner.closed and inner.end == 2.0
+        assert tracer.current("t") is None
+
+    def test_record_retrospective(self):
+        engine = make_engine_at(9.0)
+        tracer = Tracer(engine)
+        span = tracer.record("late", "test", 1.0, 2.0, "t")
+        assert span.closed and span.duration == pytest.approx(1.0)
+        assert tracer.current("t") is None  # never entered the stack
+
+    def test_record_async_keeps_id(self):
+        engine = make_engine_at()
+        tracer = Tracer(engine)
+        span = tracer.record_async("q", "driver", 0.0, 1.0, "t", async_id=7)
+        assert span.async_id == 7
+
+    def test_span_context_manager(self):
+        engine = make_engine_at()
+        tracer = Tracer(engine)
+        with tracer.span("cm", "test", track="t"):
+            engine.now = 1.0
+        (span,) = tracer.closed_spans()
+        assert span.duration == pytest.approx(1.0)
+
+    def test_track_defaults_to_kernel_outside_processes(self):
+        engine = make_engine_at()
+        tracer = Tracer(engine)
+        span = tracer.begin("op", "test")
+        assert span.track == "kernel"
+
+
+class TestRegistry:
+    def test_counter_create_or_get(self):
+        registry = MetricsRegistry()
+        c1 = registry.counter("x")
+        c1.inc()
+        c1.inc(3)
+        assert registry.counter("x") is c1
+        assert registry.snapshot() == {"x": 4}
+
+    def test_gauge_track_max(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("peak")
+        g.track_max(5)
+        g.track_max(3)
+        assert g.value == 5
+        g.set(1)
+        assert g.value == 1
+
+    def test_histogram_buckets_and_snapshot(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat")
+        h.observe(0.0002)
+        h.observe(0.05)
+        h.observe(100.0)  # overflow bucket
+        assert h.count == 3
+        assert sum(h.counts) == 3
+        assert h.counts[-1] == 1
+        snap = registry.snapshot()
+        assert snap["lat.count"] == 3
+        assert snap["lat.sum"] == pytest.approx(0.0002 + 0.05 + 100.0)
+        assert snap["lat.avg"] == pytest.approx(snap["lat.sum"] / 3)
+
+    def test_histogram_bounds_must_ascend(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", bounds=(1.0, 0.5))
+
+    def test_rebinding_name_to_other_type_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(ValueError):
+            registry.gauge("n")
+        with pytest.raises(ValueError):
+            registry.histogram("n")
+
+    def test_histogram_rebound_with_other_buckets_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        assert registry.histogram("h", bounds=TIME_BUCKETS) is not None
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=(1.0, 2.0))
+
+
+class TestObservability:
+    def test_attach_installs_hook_and_counts_events(self):
+        engine = Engine()
+        obs = Observability(engine).attach(engine)
+        assert engine.obs is obs
+        assert engine.trace_hook is not None
+
+        def worker():
+            yield engine.timeout(1.0)
+            yield engine.timeout(1.0)
+
+        engine.run_until(engine.process(worker()))
+        snap = obs.snapshot()
+        assert snap["engine.events"] == engine.events_processed > 0
+
+
+class TestExportValidation:
+    def test_roundtrip_valid(self):
+        engine = make_engine_at()
+        obs = Observability(engine).attach(engine)
+        span = obs.tracer.begin("op", "test", track="t")
+        engine.now = 1.0
+        obs.tracer.end(span)
+        obs.tracer.record_async("q", "driver", 0.0, 0.5, "t", async_id=3)
+        doc = trace_events(obs, label="unit")
+        count = validate_trace_events(doc)
+        assert count >= 4  # metadata + X + b/e pair
+
+    def test_validator_rejects_junk(self):
+        with pytest.raises(TraceFormatError):
+            validate_trace_events({"traceEvents": [{"ph": "Z"}]})
+        with pytest.raises(TraceFormatError):
+            validate_trace_events({"no": "events"})
+        with pytest.raises(TraceFormatError):
+            validate_trace_events(
+                {"traceEvents": [{"ph": "X", "name": "n", "pid": 1,
+                                  "tid": 1, "ts": 0.0}]})  # X without dur
