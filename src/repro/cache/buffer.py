@@ -11,7 +11,7 @@ in-flight disk write.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.primitives import WaitQueue
@@ -34,7 +34,7 @@ class Buffer:
     __slots__ = ("daddr", "size", "data", "valid", "dirty", "busy", "marked",
                  "write_outstanding", "hold_count", "waitq", "pre_write",
                  "post_write", "dep_info", "dirtied_at", "last_release",
-                 "owner", "flush_deps")
+                 "owner", "flush_deps", "error")
 
     def __init__(self, engine: Engine, daddr: int, size: int) -> None:
         self.daddr = daddr
@@ -64,6 +64,10 @@ class Buffer:
         self.last_release: float = 0.0
         #: debugging: name of the process holding the buffer
         self.owner: str = ""
+        #: B_ERROR analogue: error code of the last completed write of this
+        #: buffer (None = succeeded); set by the cache at I/O completion so
+        #: post_write hooks and waiting writers see the failure
+        self.error: Optional[str] = None
 
     def mark_dirty(self, now: float) -> None:
         """Mark newer-than-disk, stamping when the buffer first dirtied."""

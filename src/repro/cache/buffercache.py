@@ -28,6 +28,7 @@ from typing import Generator, Optional
 from repro.costs import CostModel
 from repro.driver.driver import DeviceDriver
 from repro.driver.request import DiskRequest
+from repro.faults import MediaError, is_retryable
 from repro.sim.cpu import CPU
 from repro.sim.engine import Engine
 from repro.sim.primitives import WaitQueue
@@ -64,6 +65,11 @@ class BufferCache:
         self.hits = 0
         self.misses = 0
         self.flushes_forced = 0
+        # fault bookkeeping: reads that surfaced EIO, failed writes that were
+        # re-dirtied for retry, and writes lost for good ((daddr, code, time))
+        self.read_errors = 0
+        self.write_retries = 0
+        self.lost_writes: list[tuple[int, str, float]] = []
         obs = engine.obs
         self._obs = obs
         if obs is not None:
@@ -162,6 +168,18 @@ class BufferCache:
             request = self.driver.read(self._lbn(daddr), nsectors,
                                        issuer=self._issuer())
             yield request.done
+            if request.error is not None:
+                # the driver's retries are spent and the sector is gone:
+                # this is where a UNIX process gets EIO from the kernel
+                self.read_errors += 1
+                faults = self.driver.disk.faults
+                if faults is not None:
+                    faults.log(self.engine.now, "read_eio",
+                               f"daddr={daddr} ({request.error})")
+                if span is not None:
+                    obs.tracer.end(span)
+                self._unbusy(buf)
+                raise MediaError(daddr, f"read failed ({request.error})")
             buf.data[:] = self.driver.disk.storage.read(
                 self._lbn(daddr), size // self.frag_size * self.sectors_per_frag)
             buf.valid = True
@@ -211,6 +229,16 @@ class BufferCache:
         yield request.done
         if span is not None:
             obs.tracer.end(span)
+        if request.error is not None and not is_retryable(request.error):
+            # the synchronous write is permanently lost: the blocked syscall
+            # gets EIO, like bwrite's B_ERROR path.  (A *retryable* failure
+            # re-dirtied the buffer in _write_done; the syncer will carry it
+            # the rest of the way, so the caller is not failed for it.)
+            faults = self.driver.disk.faults
+            if faults is not None:
+                faults.log(self.engine.now, "sync_write_failed",
+                           f"daddr={buf.daddr} ({request.error})")
+            raise MediaError(buf.daddr, f"write failed ({request.error})")
         return request
 
     def start_flush(self, buf: Buffer) -> Optional[DiskRequest]:
@@ -256,14 +284,38 @@ class BufferCache:
             self.inflight_bytes += nbytes
             request.on_complete.append(
                 lambda _req, n=nbytes: self._copy_released(n))
-        request.on_complete.append(lambda _req, b=buf: self._write_done(b))
+        request.on_complete.append(lambda req, b=buf: self._write_done(b, req))
         if self.block_copy and not from_flush:
             self._unbusy(buf)
         return request
 
-    def _write_done(self, buf: Buffer) -> None:
-        """I/O completion (driver context; must not block)."""
+    def _write_done(self, buf: Buffer, request: DiskRequest) -> None:
+        """I/O completion (driver context; must not block).
+
+        A failed write sets ``buf.error`` (B_ERROR) before the scheme's
+        ``post_write`` hooks run, so soft updates can refuse to retire the
+        dependencies riding on it.  Retryable failures re-dirty the buffer
+        *first* -- the data in memory is still newer than disk and the
+        syncer must write it again (and NVRAM must keep its mirror);
+        non-retryable failures are recorded as lost writes.
+        """
         buf.write_outstanding = False
+        error = request.error
+        buf.error = error
+        if error is not None:
+            if is_retryable(error) and buf.valid:
+                self.write_retries += 1
+                buf.mark_dirty(self.engine.now)
+                faults = self.driver.disk.faults
+                if faults is not None:
+                    faults.log(self.engine.now, "redirty",
+                               f"daddr={buf.daddr} ({error})")
+            elif not is_retryable(error):
+                self.lost_writes.append((buf.daddr, error, self.engine.now))
+                faults = self.driver.disk.faults
+                if faults is not None:
+                    faults.log(self.engine.now, "lost_write",
+                               f"daddr={buf.daddr} ({error})")
         for hook in list(buf.post_write):
             hook(buf)
         if buf.busy and buf.owner in ("io", "flush"):

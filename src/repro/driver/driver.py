@@ -46,6 +46,7 @@ from bisect import bisect_left, insort
 from collections import deque
 from typing import Optional
 
+from repro.faults import EIO, EXHAUSTED, NOSPARE
 from repro.sim.engine import Engine
 from repro.sim.primitives import WaitQueue
 from repro.disk.drive import Disk
@@ -57,11 +58,21 @@ class DeviceDriver:
     """Queues requests, enforces ordering policy, drives the disk."""
 
     def __init__(self, engine: Engine, disk: Disk, policy: OrderingPolicy,
-                 max_batch_sectors: int = 128) -> None:
+                 max_batch_sectors: int = 128, max_retries: int = 4,
+                 retry_backoff: float = 0.01) -> None:
         self.engine = engine
         self.disk = disk
         self.policy = policy
         self.max_batch_sectors = max_batch_sectors
+        #: bounded recovery for faulted media operations (see _service_retried)
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retries = 0
+        self.remaps = 0
+        self.io_errors = 0
+        #: keep completed requests' payload bytes in the trace (debugging /
+        #: recorders only; the default drops them so the trace stays flat)
+        self.retain_payloads = False
         # issue-ordered (dicts preserve insertion order); keyed by id so
         # dispatch removal is O(1) even with thousands queued
         self._pending: dict[int, DiskRequest] = {}
@@ -101,6 +112,9 @@ class DeviceDriver:
             self._m_queue_peak = registry.gauge("driver.queue_peak")
         else:
             self._m_queue_wait = None
+        # recovery instruments are created lazily on the first fault so
+        # fault-free traced runs keep identical metric snapshots
+        self._m_retries = None
         self._process = engine.process(self._run(), name="disk-driver")
 
     # -- public API -------------------------------------------------------
@@ -329,9 +343,11 @@ class DeviceDriver:
             total_sectors = sum(r.nsectors for r in batch)
             if first.is_write:
                 data = b"".join(r.data for r in batch)
-                yield from self.disk.service(first.lbn, total_sectors, True, data)
+                yield from self._service_retried(
+                    first.lbn, total_sectors, True, data, batch)
             else:
-                yield from self.disk.service(first.lbn, total_sectors, False)
+                yield from self._service_retried(
+                    first.lbn, total_sectors, False, None, batch)
             self._in_flight = False
             self._head_lbn = first.lbn + total_sectors
             done_at = self.engine.now
@@ -340,7 +356,8 @@ class DeviceDriver:
                 # the payload is on the platters now; keeping it would make
                 # the trace hold the whole workload's bytes (paper-scale
                 # runs move hundreds of MB)
-                request.data = None
+                if not self.retain_payloads:
+                    request.data = None
                 if request.is_write:
                     for sector in range(request.lbn, request.end_lbn):
                         ids = self._write_fifo[sector]
@@ -365,6 +382,75 @@ class DeviceDriver:
                 request.done.succeed(request)
             # wake anyone waiting for queue drain / eligibility changes
             self._work.broadcast()
+
+    def _service_retried(self, lbn: int, nsectors: int, is_write: bool,
+                         data, batch: list[DiskRequest]):
+        """One media operation with bounded retry, backoff, and reassignment.
+
+        The fault-free path is a single ``disk.service`` call and one
+        ``sense is None`` check -- byte-identical to the pre-fault driver.
+        Recovery policy on failure:
+
+        * transient / torn / timeout -- re-issue after an escalating backoff,
+          up to ``max_retries`` attempts; each retry redraws, so recovery is
+          the overwhelmingly common outcome.
+        * medium error on a write -- SCSI REASSIGN BLOCKS the defective
+          sector, then re-issue immediately.  Reassignments make progress
+          (the defect is gone) so they do not count against the retry
+          budget; the spare pool bounds them instead.
+        * medium error on a read -- the sector's data is gone; no retry can
+          recover it.  Fail at once.
+
+        A request that cannot be recovered completes *normally* through the
+        driver (FIFO retirement, policy bookkeeping, callbacks) with
+        ``request.error`` set; the buffer cache decides what failure means.
+        """
+        disk = self.disk
+        yield from disk.service(lbn, nsectors, is_write, data)
+        sense = disk.sense
+        if sense is None:
+            return
+        attempts = 0
+        while sense is not None:
+            if sense.code == "medium":
+                if not is_write:
+                    self._fail_batch(batch, EIO, sense.code)
+                    return
+                if not disk.reassign_block(sense.bad_lbn):
+                    self._fail_batch(batch, NOSPARE, sense.code)
+                    return
+                self.remaps += 1
+            else:
+                attempts += 1
+                if attempts > self.max_retries:
+                    self._fail_batch(batch,
+                                     EXHAUSTED if is_write else EIO,
+                                     sense.code)
+                    return
+                if self.retry_backoff:
+                    yield self.engine.timeout(self.retry_backoff * attempts)
+            self.retries += 1
+            disk.faults.log(self.engine.now, "retry",
+                            f"{'write' if is_write else 'read'} lbn={lbn} "
+                            f"after {sense.code} (attempt {attempts})")
+            if self._obs is not None:
+                if self._m_retries is None:
+                    self._m_retries = self._obs.registry.counter(
+                        "driver.retries")
+                self._m_retries.inc()
+            yield from disk.service(lbn, nsectors, is_write, data)
+            sense = disk.sense
+
+    def _fail_batch(self, batch: list[DiskRequest], code: str,
+                    sense_code: str) -> None:
+        """Mark every request in a doomed batch with a typed error code."""
+        self.io_errors += len(batch)
+        for request in batch:
+            request.error = code
+        self.disk.faults.log(
+            self.engine.now, "io_error",
+            f"{code} ({sense_code}) ids={[r.id for r in batch]} "
+            f"lbn={batch[0].lbn}")
 
     def _record_batch(self, batch: list[DiskRequest]) -> None:
         """Tracing-on completion path: queue-residency spans + metrics.

@@ -39,7 +39,7 @@ class DiskRequest:
 
     __slots__ = ("id", "kind", "lbn", "nsectors", "data", "flag", "depends_on",
                  "issuer", "issue_time", "dispatch_time", "complete_time",
-                 "done", "on_complete", "trace_parent")
+                 "done", "on_complete", "trace_parent", "error")
 
     def __init__(self, engine: Engine, request_id: int, kind: IOKind,
                  lbn: int, nsectors: int, data: Optional[bytes] = None,
@@ -68,6 +68,9 @@ class DiskRequest:
         #: id of the span that issued this request (tracing only; None when
         #: observability is off)
         self.trace_parent: Optional[int] = None
+        #: None on success; a repro.faults error code ("EIO", "nospare",
+        #: "exhausted") when the driver gave up on this request
+        self.error: Optional[str] = None
 
     # -- derived metrics (valid once complete) ---------------------------
     @property

@@ -8,6 +8,11 @@
     Runs one benchmark cell with observability on and writes a
     Perfetto-loadable ``trace_event`` JSON plus a plain-text flame summary
     under ``results/traces/`` (see ``docs/observability.md``).
+
+``python -m repro.harness faults [options]``
+    Runs the seeded disk-fault sweep across ordering schemes and writes
+    ``results/fault_report.txt`` (see ``docs/fault-injection.md``).
+    Exits nonzero only on silent corruption.
 """
 
 from __future__ import annotations
@@ -134,6 +139,9 @@ def trace_main(argv: list[str]) -> int:
 def main(argv: list[str]) -> int:
     if len(argv) > 1 and argv[1] == "trace":
         return trace_main(argv[2:])
+    if len(argv) > 1 and argv[1] == "faults":
+        from repro.harness.faults import main as faults_main
+        return faults_main(argv[2:])
     return compare_main(argv)
 
 

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.costs import CostModel
+from repro.faults import PROFILES
 from repro.fs.layout import FSGeometry
 from repro.harness.recording import RecordedRun, record_run
 from repro.integrity.crash import crash_image
@@ -102,17 +103,32 @@ WORKLOADS = {
 }
 
 
-def build_machine(scheme_name: str, secrets: bool = False) -> Machine:
-    """A formatted exploration machine (deterministic for a given name)."""
+def build_machine(scheme_name: str, secrets: bool = False,
+                  fault_profile: Optional[str] = None,
+                  fault_seed: int = 0) -> Machine:
+    """A formatted exploration machine (deterministic for a given name).
+
+    *fault_profile* names an entry of :data:`repro.faults.PROFILES`; the
+    resulting plan is seeded with *fault_seed* so record and replay see the
+    identical fault sequence.
+    """
     try:
         scheme = SCHEMES[scheme_name]()
     except KeyError:
         raise ValueError(f"unknown scheme {scheme_name!r}; "
                          f"choose from {sorted(SCHEMES)}") from None
+    faults = None
+    if fault_profile is not None:
+        try:
+            faults = PROFILES[fault_profile](fault_seed)
+        except KeyError:
+            raise ValueError(f"unknown fault profile {fault_profile!r}; "
+                             f"choose from {sorted(PROFILES)}") from None
     config = MachineConfig(scheme=scheme,
                            fs_geometry=EXPLORER_GEOMETRY,
                            cache_bytes=2 * 1024 * 1024,
-                           costs=CostModel(scale=0.0))
+                           costs=CostModel(scale=0.0),
+                           faults=faults)
     machine = Machine(config)
     machine.format()
     if secrets:
@@ -195,11 +211,15 @@ class _Task:
     index: int
     crash_time: float
     label: str
+    fault_profile: Optional[str] = None
+    fault_seed: int = 0
 
 
 def verify_crash_point(task: _Task) -> CrashFinding:
     """Replay to the crash instant, fsck the survivor, classify."""
-    machine = build_machine(task.scheme, secrets=task.secrets)
+    machine = build_machine(task.scheme, secrets=task.secrets,
+                            fault_profile=task.fault_profile,
+                            fault_seed=task.fault_seed)
     workload = build_workload(machine, task.workload, task.seed, task.ops)
     process = machine.engine.process(workload, name="victim")
     machine.engine.run_to(task.crash_time, max_events=20_000_000)
@@ -235,21 +255,31 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
             ops: Optional[int] = None, jobs: int = 1,
             samples_per_write: int = 2, max_points: Optional[int] = 240,
             secrets: bool = False, verify_repair: bool = False,
-            points: Optional[list[CrashPoint]] = None) -> ExplorationReport:
+            points: Optional[list[CrashPoint]] = None,
+            fault_profile: Optional[str] = None,
+            fault_seed: int = 0) -> ExplorationReport:
     """Record once, enumerate, verify every crash point; returns the report.
 
     ``jobs > 1`` fans the verification out over a process pool.  Results
     are deterministic in (scheme, workload, seed, ops, samples_per_write,
     max_points) and independent of ``jobs``.
+
+    *fault_profile* adds the fault dimension: the victim runs against an
+    unreliable disk (crash AND fault, then fsck).  Use a profile without
+    latent defects (e.g. ``"transient"``) so the driver recovers every
+    fault and the victim workload itself never aborts on EIO.
     """
-    machine = build_machine(scheme, secrets=secrets)
+    machine = build_machine(scheme, secrets=secrets,
+                            fault_profile=fault_profile,
+                            fault_seed=fault_seed)
     recorded = record_run(machine,
                           build_workload(machine, workload, seed, ops))
     if points is None:
         points = enumerate_crash_points(recorded, samples_per_write,
                                         max_points, sample_seed=seed)
     tasks = [_Task(scheme, workload, seed, ops, secrets, verify_repair,
-                   point.index, point.time, point.label)
+                   point.index, point.time, point.label,
+                   fault_profile, fault_seed)
              for point in points]
     if jobs > 1 and len(tasks) > 1:
         methods = multiprocessing.get_all_start_methods()
@@ -264,7 +294,8 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
         scheme=scheme, workload=workload, seed=seed,
         guarantees=machine.scheme.crash_guarantees, findings=findings,
         quiesce_time=recorded.quiesce_time,
-        write_windows=len(recorded.windows))
+        write_windows=len(recorded.windows),
+        fault_profile=fault_profile, fault_seed=fault_seed)
 
 
 # ----------------------------------------------------------------------
@@ -299,6 +330,13 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--verify-repair", action="store_true",
                         help="also require every error-free image to "
                              "repair to a fully consistent state")
+    parser.add_argument("--fault-profile", default=None,
+                        choices=sorted(PROFILES),
+                        help="run the victim against an unreliable disk "
+                             "(crash AND fault, then fsck); prefer a "
+                             "profile without latent defects")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="fault-injection RNG seed")
     parser.add_argument("--json", action="store_true",
                         help="emit the machine-readable report")
     return parser.parse_args(argv)
@@ -309,7 +347,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     max_points = None if args.max_points == 0 else args.max_points
     points = None
     if args.point is not None:
-        machine = build_machine(args.scheme, secrets=args.secrets)
+        machine = build_machine(args.scheme, secrets=args.secrets,
+                                fault_profile=args.fault_profile,
+                                fault_seed=args.fault_seed)
         recorded = record_run(
             machine, build_workload(machine, args.workload, args.seed,
                                     args.ops))
@@ -327,7 +367,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                      ops=args.ops, jobs=args.jobs,
                      samples_per_write=args.samples_per_write,
                      max_points=max_points, secrets=args.secrets,
-                     verify_repair=args.verify_repair, points=points)
+                     verify_repair=args.verify_repair, points=points,
+                     fault_profile=args.fault_profile,
+                     fault_seed=args.fault_seed)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:

@@ -45,6 +45,9 @@ class ExplorationReport:
     #: recording metadata for reproduction
     quiesce_time: float = 0.0
     write_windows: int = 0
+    #: fault plan the sweep ran under (None = the perfect disk)
+    fault_profile: str | None = None
+    fault_seed: int = 0
 
     # -- aggregation -----------------------------------------------------
     @property
@@ -112,9 +115,12 @@ class ExplorationReport:
             for violation in finding.violations[:4]:
                 lines.append(f"    {violation.severity.value}: "
                              f"{violation.message}")
+            fault = ("" if self.fault_profile is None
+                     else f" --fault-profile {self.fault_profile} "
+                          f"--fault-seed {self.fault_seed}")
             lines.append(f"    reproduce: --scheme {self.scheme} "
-                         f"--workload {self.workload} --seed {self.seed} "
-                         f"--point {finding.index}")
+                         f"--workload {self.workload} --seed {self.seed}"
+                         f"{fault} --point {finding.index}")
         verdict = ("PASS: every crash state within the scheme's declaration"
                    if self.clean else
                    "FAIL: crash states outside the scheme's declaration")

@@ -25,6 +25,7 @@ from repro.cache import BufferCache, SyncerDaemon
 from repro.costs import CostModel
 from repro.disk import Disk, DiskGeometry, DiskParameters
 from repro.driver import ChainsPolicy, DeviceDriver, FlagPolicy, FlagSemantics
+from repro.faults import FaultPlan
 from repro.driver.ordering import OrderingPolicy
 from repro.fs import FileSystem, FSGeometry, mkfs
 from repro.obs import Observability
@@ -69,6 +70,9 @@ class MachineConfig:
     #: traced run is simulation-identical to an untraced one, just slower
     #: on the host)
     observe: bool = False
+    #: make the disk unreliable (None = the perfect disk; a plan with all
+    #: rates zero is byte-identical to None -- tests/faults proves it)
+    faults: Optional[FaultPlan] = None
 
 
 class Machine:
@@ -86,6 +90,8 @@ class Machine:
         self.costs = cfg.costs
         self.disk = Disk(self.engine, geometry=cfg.disk_geometry,
                          params=cfg.disk_params)
+        if cfg.faults is not None:
+            self.disk.faults = cfg.faults.build()
         self.policy = cfg.policy or default_policy_for(cfg.scheme)
         self.driver = DeviceDriver(self.engine, self.disk, self.policy)
         block_copy = (cfg.block_copy if cfg.block_copy is not None

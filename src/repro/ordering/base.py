@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Generator, Optional
 
+from repro.faults import MediaError
 from repro.ordering.guarantees import SAFE_DEFAULT, CrashGuarantees
 
 if TYPE_CHECKING:
@@ -109,6 +110,26 @@ class OrderingScheme:
             result = yield from gen
         finally:
             obs.tracer.end(span)
+        return result
+
+    def _release_on_error(self, gen: Generator, *bufs) -> Generator:
+        """Run *gen*, releasing held buffers if a media error escapes.
+
+        The hooks' ownership contract says every held buffer is consumed;
+        when an EIO from a nested read or synchronous write aborts a hook
+        midway, the buffers it was still holding must not stay B_BUSY
+        forever (any later getblk of them would deadlock).  The failed
+        operation itself is already typed on the request/buffer -- this
+        guard only keeps the cache live so the machine can degrade instead
+        of wedge.
+        """
+        try:
+            result = yield from gen
+        except MediaError:
+            for buf in bufs:
+                if buf is not None and buf.busy and not buf.write_outstanding:
+                    self.fs.cache.brelse(buf)
+            raise
         return result
 
     @property

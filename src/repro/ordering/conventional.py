@@ -26,10 +26,13 @@ class ConventionalScheme(OrderingScheme):
 
     def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
         # rule 3/1: the pointed-to inode reaches disk before the entry
-        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        # (an EIO inside either step must not leave dbuf locked forever)
+        ibuf = yield from self._release_on_error(
+            self.fs.load_inode_buf(ip.ino), dbuf)
         self.fs.store_inode(ip, ibuf)
-        yield from self._ordered_wait(             # synchronous
-            self.fs.cache.bwrite(ibuf), "sync_stall", point="link_added")
+        yield from self._release_on_error(self._ordered_wait(  # synchronous
+            self.fs.cache.bwrite(ibuf), "sync_stall", point="link_added"),
+            dbuf)
         self.fs.cache.bdwrite(dbuf)                # last write: delayed
 
     def link_removed(self, dp, dbuf, offset, ip) -> Generator:
@@ -44,9 +47,9 @@ class ConventionalScheme(OrderingScheme):
         if moved:
             # rule 2 for fragment extension by move: the relocated pointer
             # reaches disk before the old run can be reused
-            yield from self._ordered_wait(
+            yield from self._release_on_error(self._ordered_wait(
                 self.fs.flush_inode_sync(ctx.ip), "sync_stall",
-                point="frag_move")
+                point="frag_move"), ctx.ibuf, ctx.data_buf)
         if ctx.ibuf is not None:
             self.fs.cache.bdwrite(ctx.ibuf)
         if must_init:

@@ -28,7 +28,8 @@ class NoOrderScheme(OrderingScheme):
     declared_guarantees = UNSAFE
 
     def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
-        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        ibuf = yield from self._release_on_error(
+            self.fs.load_inode_buf(ip.ino), dbuf)
         self.fs.store_inode(ip, ibuf)
         self.fs.cache.bdwrite(ibuf)
         self.fs.cache.bdwrite(dbuf)

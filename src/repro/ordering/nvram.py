@@ -108,7 +108,8 @@ class NvramScheme(OrderingScheme):
 
     # -- the four structural changes ---------------------------------------
     def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
-        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        ibuf = yield from self._release_on_error(
+            self.fs.load_inode_buf(ip.ino), dbuf)
         self.fs.store_inode(ip, ibuf)
         yield from self._mirror_buffer(ibuf)
         yield from self._mirror_buffer(dbuf)

@@ -51,7 +51,8 @@ class SchedulerChainsScheme(OrderingScheme):
 
     # -- the four structural changes --------------------------------------
     def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
-        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        ibuf = yield from self._release_on_error(
+            self.fs.load_inode_buf(ip.ino), dbuf)
         self.fs.store_inode(ip, ibuf)
         if new_inode:
             self._inherit_freed_inode(ip.ino, ibuf)
@@ -84,7 +85,8 @@ class SchedulerChainsScheme(OrderingScheme):
         self._bump("ordering.chain_links", len(pending_resets))
         if moved:
             # issue the pointer update now so the old run's reuse can name it
-            ibuf2 = yield from self.fs.load_inode_buf(ctx.ip.ino)
+            ibuf2 = yield from self._release_on_error(
+                self.fs.load_inode_buf(ctx.ip.ino), ctx.ibuf, ctx.data_buf)
             self.fs.store_inode(ctx.ip, ibuf2)
             reset = yield from self.fs.cache.bawrite(ibuf2)
             for daddr in range(ctx.old_daddr, ctx.old_daddr + ctx.old_frags):
@@ -97,7 +99,9 @@ class SchedulerChainsScheme(OrderingScheme):
             # hold the pointer-owning buffer across the init-write issue so
             # its dependencies are recorded before any flush can happen
             if ctx.owner_kind == "inode":
-                owner = yield from self.fs.load_inode_buf(ctx.ip.ino)
+                owner = yield from self._release_on_error(
+                    self.fs.load_inode_buf(ctx.ip.ino),
+                    ctx.ibuf, ctx.data_buf)
             else:
                 owner = ctx.ibuf
             owner.flush_deps |= pending_resets

@@ -37,7 +37,8 @@ class SchedulerFlagScheme(OrderingScheme):
     def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
         # the inode write is flagged: the (delayed, later-issued) directory
         # block write cannot be scheduled before it
-        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        ibuf = yield from self._release_on_error(
+            self.fs.load_inode_buf(ip.ino), dbuf)
         self.fs.store_inode(ip, ibuf)
         self._bump("ordering.flag_tags")
         yield from self.fs.cache.bawrite(ibuf, flag=True)

@@ -49,7 +49,8 @@ class SoftUpdatesScheme(OrderingScheme):
 
     # ------------------------------------------------------------------
     def link_added(self, dp, dbuf, offset, ip, new_inode: bool) -> Generator:
-        ibuf = yield from self.fs.load_inode_buf(ip.ino)
+        ibuf = yield from self._release_on_error(
+            self.fs.load_inode_buf(ip.ino), dbuf)
         self.fs.store_inode(ip, ibuf)
         offset_in_block = offset % self.fs.geometry.block_size
         self.manager.record_add(dbuf, offset_in_block, ip, ibuf)

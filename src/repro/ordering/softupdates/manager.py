@@ -67,6 +67,8 @@ class SoftDepManager:
         self.rollbacks = 0
         self.cancelled_adds = 0
         self.deps_created = 0
+        #: failed writes whose dependency batch was put back in play
+        self.requeues = 0
         obs = fs.engine.obs
         self._obs = obs
         if obs is not None:
@@ -311,7 +313,7 @@ class SoftDepManager:
                 # expose a reachable directory whose first block pointer is
                 # still undone (the MKDIR_BODY case of the BSD code)
                 batch.adds_for_inodes.extend(state.pending_adds)
-            batch.frees.extend(state.frees)
+            batch.frees.extend((ino, free_work) for free_work in state.frees)
             state.frees = []
         # role: directory block
         pagedep = self.pagedeps.get(daddr)
@@ -358,6 +360,11 @@ class SoftDepManager:
             # freed-and-reallocated block).  It must satisfy nothing.
             return
         batch = tracked.inflight.popleft()
+        if buf.error is not None:
+            # the write carrying this batch never reached the media: nothing
+            # it was supposed to make durable is durable
+            self._requeue_failed(daddr, batch, buf)
+            return
         # this block's bytes are now initialized on disk: satisfy allocsafe
         for alloc_dep in self.allocsafe.pop(daddr, []):
             alloc_dep.satisfied = True
@@ -387,13 +394,43 @@ class SoftDepManager:
                 if dir_buf is not None and dir_buf.valid and not dir_buf.dirty:
                     dir_buf.mark_dirty(self.fs.engine.now)
         # reset pointers are durable: the freed resources may be recycled
-        for free_work in batch.frees:
+        for _owner_ino, free_work in batch.frees:
             self.schedule(self._free_runs_item(free_work.runs, free_work.ino))
         for ino in list(self._inos_by_block.get(daddr, ())):
             self._cleanup_inodedep(ino)
         if batch.rolled_back:
             buf.mark_dirty(self.fs.engine.now)
         self._maybe_untrack(daddr)
+
+    def _requeue_failed(self, daddr: int, batch: InFlight, buf) -> None:
+        """Graceful degradation: put a failed write's batch back in play.
+
+        Only ``removes`` and ``frees`` were moved off their live anchors at
+        issue; everything else (allocsafe registrations, alloc deps, pending
+        adds) is still anchored and simply stays unsatisfied.  Requeueing at
+        the *front* preserves the original FIFO so a retried write snapshots
+        the same order.  The cache has already re-dirtied the buffer for a
+        retryable failure, so the syncer's next sweep re-issues the write
+        with these records aboard; a permanent failure leaves them pending,
+        which ``drain()`` surfaces as non-convergence rather than silently
+        freeing resources whose reset never reached the disk.
+        """
+        self.requeues += 1
+        if batch.removes:
+            pagedep = self.pagedeps.setdefault(daddr, PageDepState(daddr))
+            pagedep.removes[:0] = batch.removes
+        if batch.frees:
+            requeued: dict[int, list] = {}
+            for owner_ino, free_work in batch.frees:
+                requeued.setdefault(owner_ino, []).append(free_work)
+            for owner_ino, frees in requeued.items():
+                state = self._inodedep(owner_ino)
+                state.frees[:0] = frees
+        faults = self.cache.driver.disk.faults
+        if faults is not None:
+            faults.log(self.fs.engine.now, "requeue",
+                       f"daddr={daddr} removes={len(batch.removes)} "
+                       f"frees={len(batch.frees)} ({buf.error})")
 
     def _redirty_owner(self, dep: AllocDep) -> None:
         kind, key = dep.owner

@@ -130,12 +130,20 @@ class IndirDepState:
 
 @dataclass
 class InFlight:
-    """What one issued disk write of a tracked buffer carried."""
+    """What one issued disk write of a tracked buffer carried.
+
+    ``removes`` and ``frees`` are *moved out* of their live anchors at
+    write issue (the write is what makes them safe to act on), so a failed
+    write must requeue them; ``frees`` entries keep their owning inode
+    number for exactly that purpose.  The other lists only reference
+    records that stay on their anchors until completion retires them.
+    """
 
     adds_intact: list[DirAdd] = field(default_factory=list)
     removes: list[DirRem] = field(default_factory=list)
     alloc_written: list[AllocDep] = field(default_factory=list)
-    frees: list[FreeWork] = field(default_factory=list)
+    #: (owner inode number, free work) pairs
+    frees: list[tuple[int, FreeWork]] = field(default_factory=list)
     adds_for_inodes: list[DirAdd] = field(default_factory=list)
     rolled_back: bool = False
 

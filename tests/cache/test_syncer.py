@@ -101,6 +101,39 @@ def test_busy_buffer_retried_not_dropped(rig):
     assert rig.disk.storage.read(20, 2) == b"\x66" * 1024
 
 
+def test_unflushable_marked_buffer_retried_on_later_wakeup(rig):
+    """A marked buffer whose ``start_flush`` returns None stays queued.
+
+    The sweep must keep the buffer on its marked list (not silently drop
+    it) so the flush happens on the first wakeup after it becomes
+    flushable again -- without waiting a full mark/write cycle.
+    """
+    eng = rig.engine
+    dirty_one(rig, 10)          # region 0: marked by the first sweep
+    run_for(rig, 1.5)           # marked, not yet written
+    buf = rig.cache.peek(10)
+    assert buf.marked and buf.dirty
+
+    held = []
+
+    def hold():
+        got = yield from rig.cache.getblk(10, 1024)
+        held.append(got)
+
+    rig.run(hold())             # busy: the next sweep cannot flush it
+    run_for(rig, 1.1)           # the flush-eligible wakeup comes and goes
+    assert rig.disk.stats.writes_started == 0
+    assert rig.syncer.writes_started == 0
+    assert buf.marked and buf.dirty  # retried, not dropped
+
+    rig.cache.brelse(held[0])
+    run_for(rig, 1.1)           # very next wakeup: flush goes out
+    assert rig.syncer.writes_started == 1
+    run_for(rig, 0.5)
+    assert not buf.dirty
+    assert rig.disk.storage.read(20, 2) == b"\x33" * 1024
+
+
 def test_invalid_sweep_passes_rejected():
     with pytest.raises(ValueError):
         CacheRig(syncer=True).syncer.__class__(

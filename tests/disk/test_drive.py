@@ -123,3 +123,50 @@ def test_in_flight_exposed_during_write_transfer(eng, disk):
     applied = observed[0].sectors_applied_by(
         observed[0].transfer_start + 10 * observed[0].sector_period, 512)
     assert applied == 10
+
+
+def test_service_time_stats_stream_without_retaining_samples(eng, disk):
+    """Regression: service times aggregate in O(1) memory by default."""
+    for index in range(50):
+        run_io(eng, disk, index * 16, 1, True, b"\x00" * 512)
+    stats = disk.stats.service_times
+    assert len(stats) == stats.count == 50
+    assert stats.min <= stats.mean <= stats.max
+    assert abs(stats.total - stats.mean * 50) < 1e-9
+    # no reservoir configured: not one sample retained
+    assert stats.samples == []
+
+
+def test_service_time_reservoir_is_bounded():
+    from repro.disk.drive import ServiceTimeStats
+
+    stats = ServiceTimeStats(reservoir_limit=8)
+    for value in range(100):
+        stats.append(float(value))
+    assert stats.count == 100 and len(stats) == 100
+    assert len(stats.samples) == 8
+    assert stats.samples == [float(v) for v in range(92, 100)]
+    assert stats.min == 0.0 and stats.max == 99.0
+
+
+def test_started_counters_match_completions_when_fault_free(eng, disk):
+    run_io(eng, disk, 0, 1, True, b"\x00" * 512)
+    run_io(eng, disk, 100, 2, False)
+    assert disk.stats.writes_started == disk.stats.writes == 1
+    assert disk.stats.reads_started == disk.stats.reads == 1
+    assert disk.stats.aborted_reads == disk.stats.aborted_writes == 0
+    assert disk.stats.read_faults == disk.stats.write_faults == 0
+
+
+def test_faulted_operations_counted_separately(eng, disk):
+    from repro.faults import FaultPlan
+
+    disk.faults = FaultPlan(seed=1, transient_write_rate=1.0).build()
+    # the raw drive has no retry loop: the fault consumes service time,
+    # leaves sense data for the driver, and completes nothing
+    run_io(eng, disk, 0, 1, True, b"\x00" * 512)
+    assert disk.stats.writes_started == 1
+    assert disk.stats.writes == 0          # never completed
+    assert disk.stats.write_faults == 1
+    assert disk.stats.sectors_written == 0
+    assert disk.sense is not None and disk.sense.code == "transient"

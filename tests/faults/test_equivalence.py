@@ -1,0 +1,59 @@
+"""Fault-free runs must be byte-identical to runs without the subsystem.
+
+The contract mirrors ``tests/obs/test_equivalence.py``: attaching a
+zero-rate :class:`~repro.faults.FaultPlan` must not perturb the simulation
+at all -- no extra events, no extra timeouts, no RNG interaction -- so the
+full driver trace digests identically to a machine with ``faults=None``.
+And a *faulty* run must be deterministic in its seed: two machines with
+the same plan replay the identical fault sequence and produce the
+identical trace.
+"""
+
+import pytest
+
+from repro.faults import PROFILES, FaultPlan
+from tests.conftest import SCHEME_FACTORIES, make_machine, run_user
+from tests.obs.test_equivalence import churn, driver_trace_digest
+
+
+def run_once(scheme_name, faults):
+    machine = make_machine(scheme_name, free_cpu=False, faults=faults)
+    run_user(machine, churn(machine)(), name="user0")
+    machine.sync_and_settle()
+    return machine
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+def test_zero_rate_plan_is_simulation_identical(scheme_name):
+    bare = run_once(scheme_name, faults=None)
+    armed = run_once(scheme_name, faults=FaultPlan(seed=123))
+
+    assert bare.disk.faults is None
+    assert armed.disk.faults is not None
+    assert armed.disk.faults.injected == 0
+    assert armed.engine.events_processed == bare.engine.events_processed
+    assert armed.engine.now == bare.engine.now
+    assert driver_trace_digest(armed) == driver_trace_digest(bare)
+    assert armed.driver.retries == 0 and armed.driver.io_errors == 0
+
+
+@pytest.mark.parametrize("scheme_name", ["conventional", "softupdates"])
+def test_faulty_run_is_deterministic_in_seed(scheme_name):
+    a = run_once(scheme_name, faults=PROFILES["mixed"](7))
+    b = run_once(scheme_name, faults=PROFILES["mixed"](7))
+
+    assert a.disk.faults.injected == b.disk.faults.injected
+    assert a.disk.faults.events == b.disk.faults.events
+    assert a.engine.events_processed == b.engine.events_processed
+    assert driver_trace_digest(a) == driver_trace_digest(b)
+
+
+def test_faulty_run_differs_from_fault_free():
+    """Sanity: the heavy profile actually perturbs this workload."""
+    bare = run_once("conventional", faults=None)
+    heavy = run_once("conventional",
+                     faults=FaultPlan(seed=5, transient_write_rate=0.5,
+                                      transient_read_rate=0.5))
+    assert heavy.disk.faults.injected > 0
+    assert heavy.driver.retries > 0
+    assert driver_trace_digest(heavy) != driver_trace_digest(bare)
