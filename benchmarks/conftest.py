@@ -87,6 +87,7 @@ def pytest_sessionfinish(session, exitstatus):
                         "wall_seconds": round(cell.wall_seconds, 3),
                         "sim_events": cell.sim_events,
                         "events_per_second": round(cell.events_per_second),
+                        **cell.extra,
                     }
                     for cell in grid.cells
                 ],

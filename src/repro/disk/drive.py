@@ -160,6 +160,14 @@ class Disk:
         #: optional observer called with each InFlightWrite as its transfer
         #: begins (the crash-exploration recorder enumerates boundaries here)
         self.on_transfer_start = None
+        #: optional observer called as each write's media operation *ends*:
+        #: ``on_write_commit(lbn, data, transfer_start, sector_period, end,
+        #: durable)`` where *end* is the simulated completion instant and
+        #: *durable* the sector-prefix length that persisted (the full count
+        #: for a successful write, the torn/medium prefix for a faulted one,
+        #: zero for a transient).  The media write-log recorder
+        #: (``repro.integrity.medialog``) synthesizes crash images from this.
+        self.on_write_commit = None
         #: attach a repro.faults.FaultInjector to make the media unreliable
         self.faults: Optional[FaultInjector] = None
         #: SCSI-style sense for the last service(); None means it succeeded
@@ -231,7 +239,12 @@ class Disk:
             if self.on_transfer_start is not None:
                 self.on_transfer_start(self.in_flight)
             yield self.engine.timeout(transfer)
+            window = self.in_flight
             self.in_flight = None
+            if self.on_write_commit is not None:
+                self.on_write_commit(lbn, data, window.transfer_start,
+                                     window.sector_period, self.engine.now,
+                                     nsectors)
         else:
             yield self.engine.timeout(
                 self.params.controller_overhead + seek + rotation + transfer)
@@ -296,9 +309,14 @@ class Disk:
                     self.on_transfer_start(self.in_flight)
                 if transfer:
                     yield self.engine.timeout(transfer)
+                window = self.in_flight
                 self.in_flight = None
                 if applied:
                     self.storage.write_partial(lbn, data, applied)
+                if self.on_write_commit is not None:
+                    self.on_write_commit(lbn, data, window.transfer_start,
+                                         window.sector_period,
+                                         self.engine.now, applied)
                 self.cache.invalidate(lbn, nsectors)
             else:
                 transfer = self.params.transfer_time(self.geometry, nsectors)

@@ -56,6 +56,26 @@ class SectorStore:
         clone._sectors = dict(self._sectors)
         return clone
 
+    def digest(self) -> str:
+        """Content fingerprint of the persistent state (hex).
+
+        Two stores digest equal iff every sector reads back identical --
+        all-zero sectors are canonicalized away, so a store that had zeros
+        explicitly written equals one that never touched the sector.  The
+        synthesis-vs-replay equivalence suite compares images this way.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        zero = self._zero
+        for lbn in sorted(self._sectors):
+            data = self._sectors[lbn]
+            if data == zero:
+                continue
+            h.update(lbn.to_bytes(8, "little"))
+            h.update(data)
+        return h.hexdigest()
+
     def __len__(self) -> int:
         """Number of distinct sectors ever written."""
         return len(self._sectors)

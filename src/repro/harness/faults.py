@@ -38,7 +38,7 @@ import sys
 from dataclasses import dataclass, field
 
 from repro.faults import MediaError, PROFILES
-from repro.integrity.explorer import SCHEMES, build_machine
+from repro.integrity.explorer import SCHEMES, build_machine, explore
 from repro.integrity.fsck import fsck
 from repro.sim import ProcessCrashed, SimulationError
 from repro.workloads.churn import churn_workload
@@ -68,11 +68,27 @@ class CellResult:
     fsck_errors: int = 0
     fsck_warnings: int = 0
     degradations: list[str] = field(default_factory=list)
+    #: crash-point exploration riding along (``--explore N``): verified
+    #: point count, verification mode, declaration breaches, or the
+    #: reason exploration could not run for this cell
+    crash_points: int = 0
+    crash_mode: str = ""
+    crash_unexpected: int = 0
+    crash_note: str = ""
 
 
 def run_cell(scheme_name: str, profile: str, seed: int,
-             operations: int) -> CellResult:
-    """Run one cell of the sweep and classify the survivor."""
+             operations: int, explore_points: int = 0,
+             synthesize: bool = True) -> CellResult:
+    """Run one cell of the sweep and classify the survivor.
+
+    ``explore_points > 0`` additionally sweeps that many crash points of
+    the same (scheme, profile, seed) cell -- crash AND fault -- through
+    :func:`repro.integrity.explorer.explore`, synthesizing images from
+    the media write-log by default (``synthesize=False`` replays, the
+    oracle).  Profiles with latent defects can abort the victim workload
+    mid-recording; that is reported per cell, not raised.
+    """
     machine = build_machine(scheme_name, fault_profile=profile,
                             fault_seed=seed)
     injector = machine.disk.faults
@@ -136,6 +152,22 @@ def run_cell(scheme_name: str, profile: str, seed: int,
         result.verdict = "degraded"
     else:
         result.verdict = "SILENT-CORRUPTION"
+
+    if explore_points > 0:
+        try:
+            sweep = explore(scheme_name, "churn", seed=seed,
+                            ops=operations, jobs=1,
+                            max_points=explore_points,
+                            fault_profile=profile, fault_seed=seed,
+                            synthesize=synthesize)
+        except Exception as exc:
+            # e.g. a latent-defect profile EIO-aborts the recorded victim
+            result.crash_note = (f"exploration n/a: "
+                                 f"{type(exc).__name__}: {exc}")
+        else:
+            result.crash_points = sweep.points
+            result.crash_mode = sweep.mode
+            result.crash_unexpected = len(sweep.unexpected_findings)
     return result
 
 
@@ -146,18 +178,33 @@ def format_report(cells: list[CellResult], operations: int) -> str:
              f"workload: churn x {operations} operations per cell",
              f"cells: {len(cells)}",
              ""]
+    explored = any(cell.crash_points or cell.crash_note for cell in cells)
     header = (f"{'scheme':<14}{'profile':<11}{'seed':>5}{'inj':>6}"
               f"{'retry':>7}{'remap':>7}{'eio':>5}{'lost':>6}"
-              f"{'fsck':>6}  verdict")
+              f"{'fsck':>6}")
+    if explored:
+        header += f"{'pts':>6}{'unexp':>7}  mode       "
+    header += "  verdict"
     lines.append(header)
     lines.append("-" * len(header))
     for cell in cells:
-        lines.append(
-            f"{cell.scheme:<14}{cell.profile:<11}{cell.seed:>5}"
-            f"{cell.injected:>6}{cell.retries:>7}{cell.remaps:>7}"
-            f"{cell.io_errors:>5}{cell.lost_writes:>6}"
-            f"{cell.fsck_errors:>6}  {cell.verdict}")
+        row = (f"{cell.scheme:<14}{cell.profile:<11}{cell.seed:>5}"
+               f"{cell.injected:>6}{cell.retries:>7}{cell.remaps:>7}"
+               f"{cell.io_errors:>5}{cell.lost_writes:>6}"
+               f"{cell.fsck_errors:>6}")
+        if explored:
+            mode = cell.crash_mode or ("n/a" if cell.crash_note else "-")
+            row += (f"{cell.crash_points:>6}{cell.crash_unexpected:>7}"
+                    f"  {mode:<11}")
+        row += f"  {cell.verdict}"
+        lines.append(row)
     lines.append("")
+    for cell in cells:
+        if cell.crash_note:
+            lines.append(f"[{cell.scheme}/{cell.profile}/seed={cell.seed}] "
+                         f"{cell.crash_note}")
+    if any(cell.crash_note for cell in cells):
+        lines.append("")
     for cell in cells:
         if not cell.degradations:
             continue
@@ -168,6 +215,9 @@ def format_report(cells: list[CellResult], operations: int) -> str:
         lines.append("")
     bad = [cell for cell in cells if cell.verdict == "SILENT-CORRUPTION"]
     lines.append(f"silent corruption: {len(bad)}")
+    if explored:
+        lines.append(f"crash points outside declarations: "
+                     f"{sum(cell.crash_unexpected for cell in cells)}")
     return "\n".join(lines) + "\n"
 
 
@@ -186,6 +236,17 @@ def main(argv: list[str]) -> int:
         help="comma-separated fault/workload seeds")
     parser.add_argument("--ops", type=int, default=40,
                         help="churn operations per cell (default 40)")
+    parser.add_argument("--explore", type=int, default=0, metavar="N",
+                        help="also sweep up to N crash points per cell "
+                             "(crash AND fault; 0 = off)")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--synthesize", dest="synthesize",
+                      action="store_true", default=True,
+                      help="synthesize --explore crash images from the "
+                           "media write-log (the default)")
+    mode.add_argument("--replay", dest="synthesize", action="store_false",
+                      help="replay each --explore crash point from "
+                           "scratch (the verification oracle)")
     parser.add_argument("--out", default=os.path.join(
         "results", "fault_report.txt"),
         help="report path (default results/fault_report.txt)")
@@ -208,11 +269,19 @@ def main(argv: list[str]) -> int:
     for scheme_name in schemes:
         for profile in profiles:
             for seed in seeds:
-                cell = run_cell(scheme_name, profile, seed, args.ops)
+                cell = run_cell(scheme_name, profile, seed, args.ops,
+                                explore_points=args.explore,
+                                synthesize=args.synthesize)
                 cells.append(cell)
+                extra = ""
+                if args.explore:
+                    extra = (f" crash-explored={cell.crash_points} "
+                             f"[{cell.crash_mode or 'n/a'}] "
+                             f"unexpected={cell.crash_unexpected}")
                 print(f"{cell.scheme}/{cell.profile}/seed={cell.seed}: "
                       f"{cell.verdict} (injected={cell.injected} "
-                      f"retries={cell.retries} remaps={cell.remaps})")
+                      f"retries={cell.retries} remaps={cell.remaps})"
+                      f"{extra}")
 
     report = format_report(cells, args.ops)
     os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
@@ -220,13 +289,19 @@ def main(argv: list[str]) -> int:
         handle.write(report)
     print(f"\nwrote {args.out}")
 
-    bad = [cell for cell in cells if cell.verdict == "SILENT-CORRUPTION"]
-    if bad:
-        for cell in bad:
+    failed = False
+    for cell in cells:
+        if cell.verdict == "SILENT-CORRUPTION":
             print(f"SILENT CORRUPTION: {cell.scheme}/{cell.profile}/"
                   f"seed={cell.seed}", file=sys.stderr)
-        return 1
-    return 0
+            failed = True
+        if cell.crash_unexpected:
+            print(f"DECLARATION BREACH: {cell.scheme}/{cell.profile}/"
+                  f"seed={cell.seed}: {cell.crash_unexpected} crash "
+                  f"points outside the scheme's declaration",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

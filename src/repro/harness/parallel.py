@@ -52,6 +52,10 @@ class CellStats:
     key: str
     wall_seconds: float
     sim_events: int
+    #: extras the result object volunteers via a ``perf_extra`` mapping
+    #: (e.g. the crash explorer's points verified / points-per-second);
+    #: flushed verbatim into the cell's BENCH_perf.json record
+    extra: dict = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -188,6 +192,7 @@ def run_grid(name: str, cells: list, jobs: Optional[int] = None) -> dict:
         results[cell.key] = result
         report.cells.append(CellStats(
             key=str(cell.key), wall_seconds=wall,
-            sim_events=getattr(result, "sim_events", 0) or 0))
+            sim_events=getattr(result, "sim_events", 0) or 0,
+            extra=dict(getattr(result, "perf_extra", None) or {})))
     GRID_REPORTS.append(report)
     return results

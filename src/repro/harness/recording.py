@@ -10,6 +10,13 @@ injected, because the replayed runs must follow the *identical* event
 timeline and a recording-only sync would fork it.  Quiescence is reached
 through the ordinary syncer-daemon sweeps, exactly as a real machine left
 idle would settle.
+
+With ``capture_media=True`` the run additionally snapshots the pre-workload
+base image and attaches a :class:`~repro.integrity.medialog.MediaLog` to the
+drive's ``on_write_commit`` observer, so crash images can later be
+*synthesized* (base + committed sectors) instead of replayed -- see
+``docs/crash-exploration.md``.  Capture is passive: it changes neither the
+event timeline nor a single simulated timestamp.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+from repro.integrity.medialog import MediaLog
 from repro.machine import Machine
 from repro.sim.engine import SimulationError
 
@@ -56,6 +64,10 @@ class RecordedRun:
     requests_issued: int = 0
     #: engine events processed (determinism fingerprint)
     events_processed: int = 0
+    #: the pre-workload disk image (``capture_media=True`` runs only)
+    base_image = None
+    #: the media write-log (``capture_media=True`` runs only)
+    media_log: Optional[MediaLog] = None
 
     @property
     def sectors_written(self) -> int:
@@ -72,8 +84,15 @@ def quiescent(machine: Machine) -> bool:
 
 def record_run(machine: Machine, workload: Generator,
                name: str = "victim",
-               max_events: Optional[int] = 20_000_000) -> RecordedRun:
-    """Run *workload* to completion, then to quiescence, recording writes."""
+               max_events: Optional[int] = 20_000_000,
+               capture_media: bool = False) -> RecordedRun:
+    """Run *workload* to completion, then to quiescence, recording writes.
+
+    ``capture_media=True`` additionally snapshots the pre-workload image and
+    logs every sector that reaches the platters (payload, LBN, per-sector
+    commit timing, torn/faulted outcomes) into ``recorded.media_log`` so
+    crash images can be synthesized without replay.
+    """
     recorded = RecordedRun()
     machine.disk.on_transfer_start = \
         lambda ifw: recorded.windows.append(WriteWindow(
@@ -81,6 +100,10 @@ def record_run(machine: Machine, workload: Generator,
             nsectors=len(ifw.data) // machine.disk.geometry.sector_size,
             transfer_start=ifw.transfer_start,
             sector_period=ifw.sector_period))
+    if capture_media:
+        recorded.base_image = machine.disk.storage.snapshot()
+        recorded.media_log = MediaLog(machine.disk.geometry.sector_size)
+        recorded.media_log.attach(machine.disk)
     try:
         engine = machine.engine
         process = engine.process(workload, name=name)
@@ -106,4 +129,11 @@ def record_run(machine: Machine, workload: Generator,
         recorded.events_processed = engine.events_processed
     finally:
         machine.disk.on_transfer_start = None
+        if capture_media:
+            recorded.media_log.detach(machine.disk)
+    if capture_media and machine.obs is not None:
+        registry = machine.obs.registry
+        registry.gauge("medialog.windows").set(len(recorded.media_log))
+        registry.gauge("medialog.bytes").set(
+            recorded.media_log.payload_bytes)
     return recorded

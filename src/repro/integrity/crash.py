@@ -5,6 +5,15 @@ machine stops mid-whatever, all memory contents evaporate, and the surviving
 state is the sector store -- plus the prefix of any write whose transfer was
 under way, because sectors are laid down in order and each sector is
 individually protected by its ECC (paper, footnote 1).
+
+This is the *replay oracle* of the crash-exploration pipeline: sweeps
+normally synthesize each crash image from the media write-log
+(:mod:`repro.integrity.medialog`) with no re-simulation, and the
+equivalence suite proves those images byte-identical to the ones this
+module produces by replaying to the crash instant.  Any change to the
+in-flight prefix semantics here must be mirrored in
+``MediaWrite.sectors_in_flight_by`` -- the two are intentionally the same
+expression.
 """
 
 from __future__ import annotations

@@ -9,7 +9,10 @@ ones:
 1. **Record** -- run the victim workload once on an instrumented machine
    (:func:`repro.harness.recording.record_run`) and collect every media
    write transfer window, through natural quiescence (the background write
-   tail included).
+   tail included).  The same run captures the **media write-log**
+   (:mod:`repro.integrity.medialog`): every sector that actually reached
+   the platters, with payload, LBN, and per-sector commit timing --
+   torn-write prefixes and faulted/remapped outcomes included.
 2. **Enumerate** -- every window contributes its start boundary (power
    fails before any sector lands), its completion boundary (the whole
    request is on the platters), and sampled mid-transfer instants (a
@@ -17,15 +20,27 @@ ones:
    ``crash_image``).  Every crash state any power failure could produce is
    one of these, or identical to one of these: between boundaries the
    platters do not change.
-3. **Verify** -- for each crash point, replay the workload from scratch on
-   a fresh machine (the simulation is deterministic: same seed, same
-   timeline), cut the power with :func:`~repro.integrity.crash.crash_image`,
-   run ``fsck`` on the survivor, and classify the outcome against the
-   declarative invariant set (:mod:`repro.integrity.invariants`) and the
-   scheme's own :class:`~repro.ordering.guarantees.CrashGuarantees`.
+3. **Verify** -- for each crash point, *synthesize* the surviving image
+   from the media log (base image + sectors committed before the crash
+   instant + the ECC-consistent partial prefix of the in-flight window --
+   no simulation at all), run ``fsck`` on the survivor, and classify the
+   outcome against the declarative invariant set
+   (:mod:`repro.integrity.invariants`) and the scheme's own
+   :class:`~repro.ordering.guarantees.CrashGuarantees`.  Per-point cost is
+   O(sector application + fsck) instead of O(full prefix replay).
 
-Replays are independent, so step 3 fans out over a ``multiprocessing``
-pool; serial and parallel sweeps produce identical findings.
+The old per-point replay (fresh machine, ``engine.run_to(t)``,
+:func:`~repro.integrity.crash.crash_image`) is kept as a **verification
+oracle** behind ``--replay``: synthesized images are byte-identical to
+replay-derived ones (``tests/integrity/test_synthesis_equivalence.py``),
+and schemes whose crash state lives partly in memory (NVRAM's
+battery-backed mirror) fall back to it automatically.
+
+Verification fans out over a ``multiprocessing`` pool: workers inherit the
+base image and the media log copy-on-write through the fork context (no
+per-task pickling), and each worker receives a time-sorted chunk of crash
+points so the image builds incrementally within the chunk.  Serial and
+parallel sweeps produce identical findings.
 
 CLI::
 
@@ -45,6 +60,7 @@ import multiprocessing
 import os
 import random
 import sys
+import time
 from dataclasses import dataclass
 from typing import Generator, Optional
 
@@ -56,12 +72,12 @@ from repro.integrity.crash import crash_image
 from repro.integrity.findings import CrashFinding, ExplorationReport
 from repro.integrity.fsck import fsck, repair
 from repro.integrity.invariants import (
-    Severity,
     Violation,
     classify_report,
     invariant_by_key,
     unexpected,
 )
+from repro.integrity.medialog import ImageSynthesizer, MediaLog
 from repro.integrity.secrets import find_secret_leaks, plant_secrets
 from repro.machine import Machine, MachineConfig
 from repro.ordering import (
@@ -147,6 +163,16 @@ def build_workload(machine: Machine, workload_name: str, seed: int,
     return factory(machine, seed, ops if ops is not None else default_ops)
 
 
+def synthesis_supported(machine: Machine) -> bool:
+    """True when the scheme's crash state lives entirely on the media.
+
+    NVRAM keeps battery-backed survivors in memory
+    (``scheme.apply_to_image``); a synthesized image cannot see them, so
+    such schemes verify through the replay oracle.
+    """
+    return getattr(machine.scheme, "apply_to_image", None) is None
+
+
 # ----------------------------------------------------------------------
 # crash-point enumeration
 # ----------------------------------------------------------------------
@@ -159,19 +185,9 @@ class CrashPoint:
     label: str
 
 
-def enumerate_crash_points(recorded: RecordedRun,
-                           samples_per_write: int = 2,
-                           max_points: Optional[int] = None,
-                           sample_seed: int = 0) -> list[CrashPoint]:
-    """Every write's start/completion boundary + sampled partial prefixes.
-
-    A window of ``n`` sectors has ``n - 1`` distinct mid-transfer states
-    (``k`` sectors applied, ``0 < k < n``); ``samples_per_write`` of them
-    are taken at evenly spaced ``k`` (all of them when the window is small
-    enough).  When the full enumeration exceeds *max_points*, a
-    deterministic sample (seeded by *sample_seed*) is kept -- the budget is
-    explicit, never a silent truncation of the tail.
-    """
+def _enumerate_raw(recorded: RecordedRun,
+                   samples_per_write: int) -> list[tuple[float, str]]:
+    """The full (unbudgeted) crash-point enumeration, in time order."""
     raw: list[tuple[float, str]] = []
     for wi, window in enumerate(recorded.windows):
         base = f"write {wi} (lbn {window.lbn}+{window.nsectors})"
@@ -187,6 +203,24 @@ def enumerate_crash_points(recorded: RecordedRun,
                             + (k + 0.5) * window.sector_period,
                             f"{base} after {k}/{span} sectors"))
         raw.append((window.complete_time, f"{base} complete"))
+    return raw
+
+
+def enumerate_crash_points(recorded: RecordedRun,
+                           samples_per_write: int = 2,
+                           max_points: Optional[int] = None,
+                           sample_seed: int = 0) -> list[CrashPoint]:
+    """Every write's start/completion boundary + sampled partial prefixes.
+
+    A window of ``n`` sectors has ``n - 1`` distinct mid-transfer states
+    (``k`` sectors applied, ``0 < k < n``); ``samples_per_write`` of them
+    are taken at evenly spaced ``k`` (all of them when the window is small
+    enough).  When the full enumeration exceeds *max_points*, a
+    deterministic sample (seeded by *sample_seed*) is kept -- the budget is
+    explicit, never a silent truncation of the tail, and the sweep report
+    states enumerated vs verified counts.
+    """
+    raw = _enumerate_raw(recorded, samples_per_write)
     if max_points is not None and len(raw) > max_points:
         rng = random.Random(sample_seed)
         keep = sorted(rng.sample(range(len(raw)), max_points))
@@ -196,7 +230,7 @@ def enumerate_crash_points(recorded: RecordedRun,
 
 
 # ----------------------------------------------------------------------
-# per-point verification (the pool worker)
+# per-point verification: the replay oracle (the pool worker)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class _Task:
@@ -215,22 +249,14 @@ class _Task:
     fault_seed: int = 0
 
 
-def verify_crash_point(task: _Task) -> CrashFinding:
-    """Replay to the crash instant, fsck the survivor, classify."""
-    machine = build_machine(task.scheme, secrets=task.secrets,
-                            fault_profile=task.fault_profile,
-                            fault_seed=task.fault_seed)
-    workload = build_workload(machine, task.workload, task.seed, task.ops)
-    process = machine.engine.process(workload, name="victim")
-    machine.engine.run_to(task.crash_time, max_events=20_000_000)
-    if process.triggered and not process.ok:
-        raise process.value
-    image = crash_image(machine)
-    geometry = machine.config.fs_geometry
+def _classify_image(image, geometry, secrets: bool, verify_repair: bool,
+                    guarantees, index: int, crash_time: float,
+                    label: str) -> CrashFinding:
+    """fsck + invariant classification of one surviving image."""
     report = fsck(image, geometry)
-    leaks = find_secret_leaks(image, geometry) if task.secrets else []
+    leaks = find_secret_leaks(image, geometry) if secrets else []
     violations = classify_report(report, leaks)
-    if task.verify_repair and not any(v.is_corruption for v in violations):
+    if verify_repair and not any(v.is_corruption for v in violations):
         # the paper's recovery story: every error-free image must come out
         # of classic fsck repair fully consistent
         repaired = repair(image.snapshot(), geometry)
@@ -240,12 +266,91 @@ def verify_crash_point(task: _Task) -> CrashFinding:
             violations.append(Violation(
                 inv.key, inv.severity,
                 f"repair left {len(residue)} findings: {residue[0]}"))
-    guarantees = machine.scheme.crash_guarantees
     return CrashFinding(
-        index=task.index, crash_time=task.crash_time, label=task.label,
+        index=index, crash_time=crash_time, label=label,
         errors=len(report.errors), warnings=len(report.warnings),
         violations=tuple(violations),
         unexpected=tuple(unexpected(violations, guarantees)))
+
+
+def verify_crash_point(task: _Task) -> CrashFinding:
+    """Replay to the crash instant, fsck the survivor, classify.
+
+    The oracle path: a fresh machine re-simulates the workload prefix.
+    The synthesis path (:func:`_verify_synth_chunk`) must produce findings
+    equal to this, point for point.
+    """
+    machine = build_machine(task.scheme, secrets=task.secrets,
+                            fault_profile=task.fault_profile,
+                            fault_seed=task.fault_seed)
+    workload = build_workload(machine, task.workload, task.seed, task.ops)
+    process = machine.engine.process(workload, name="victim")
+    machine.engine.run_to(task.crash_time, max_events=20_000_000)
+    if process.triggered and not process.ok:
+        raise process.value
+    image = crash_image(machine)
+    return _classify_image(image, machine.config.fs_geometry, task.secrets,
+                           task.verify_repair, machine.scheme.crash_guarantees,
+                           task.index, task.crash_time, task.label)
+
+
+# ----------------------------------------------------------------------
+# per-chunk verification: crash-image synthesis (the pool worker)
+# ----------------------------------------------------------------------
+@dataclass
+class _SynthContext:
+    """Shared read-only state for synthesis workers.
+
+    Installed as a module-level global before the pool forks so children
+    inherit the base image and media log copy-on-write; pickled once per
+    worker (via the pool initializer) only on platforms without ``fork``.
+    """
+
+    base: object           # SectorStore
+    log: MediaLog
+    geometry: FSGeometry
+    secrets: bool
+    verify_repair: bool
+    guarantees: object     # CrashGuarantees
+
+
+_SYNTH_CONTEXT: Optional[_SynthContext] = None
+
+
+def _synth_init(context: _SynthContext) -> None:
+    global _SYNTH_CONTEXT
+    _SYNTH_CONTEXT = context
+
+
+def _verify_synth_chunk(chunk: list[CrashPoint]) -> list[CrashFinding]:
+    """Synthesize and verify a time-sorted chunk of crash points.
+
+    The synthesizer applies sectors incrementally: point *k+1* reuses the
+    image built for point *k* and applies only the sectors committed in
+    between, so a chunk of *m* points costs one base snapshot + one pass
+    over the log + *m* fscks -- zero simulation.
+    """
+    ctx = _SYNTH_CONTEXT
+    synthesizer = ImageSynthesizer(ctx.base, ctx.log)
+    findings = []
+    for point in chunk:
+        image = synthesizer.image_at(point.time)
+        findings.append(_classify_image(
+            image, ctx.geometry, ctx.secrets, ctx.verify_repair,
+            ctx.guarantees, point.index, point.time, point.label))
+    return findings
+
+
+def _chunk(points: list[CrashPoint], chunks: int) -> list[list[CrashPoint]]:
+    """Split time-sorted points into at most *chunks* contiguous runs."""
+    chunks = max(1, min(chunks, len(points)))
+    size, extra = divmod(len(points), chunks)
+    out, at = [], 0
+    for i in range(chunks):
+        step = size + (1 if i < extra else 0)
+        out.append(points[at:at + step])
+        at += step
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -257,12 +362,18 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
             secrets: bool = False, verify_repair: bool = False,
             points: Optional[list[CrashPoint]] = None,
             fault_profile: Optional[str] = None,
-            fault_seed: int = 0) -> ExplorationReport:
+            fault_seed: int = 0,
+            synthesize: bool = True) -> ExplorationReport:
     """Record once, enumerate, verify every crash point; returns the report.
 
-    ``jobs > 1`` fans the verification out over a process pool.  Results
-    are deterministic in (scheme, workload, seed, ops, samples_per_write,
-    max_points) and independent of ``jobs``.
+    ``synthesize=True`` (the default) materializes each crash image from
+    the media write-log with zero post-recording simulation;
+    ``synthesize=False`` replays every point from scratch (the equivalence
+    oracle).  Schemes whose crash state lives partly in memory (NVRAM)
+    fall back to replay automatically.  Either way, ``jobs > 1`` fans the
+    verification out over a process pool and results are deterministic in
+    (scheme, workload, seed, ops, samples_per_write, max_points) --
+    independent of ``jobs`` and of the verification mode.
 
     *fault_profile* adds the fault dimension: the victim runs against an
     unreliable disk (crash AND fault, then fsck).  Use a profile without
@@ -272,11 +383,91 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
     machine = build_machine(scheme, secrets=secrets,
                             fault_profile=fault_profile,
                             fault_seed=fault_seed)
+    mode = "synthesize" if synthesize and synthesis_supported(machine) \
+        else "replay"
+    record_start = time.perf_counter()
     recorded = record_run(machine,
-                          build_workload(machine, workload, seed, ops))
+                          build_workload(machine, workload, seed, ops),
+                          capture_media=(mode == "synthesize"))
+    record_wall = time.perf_counter() - record_start
+    enumerated = len(_enumerate_raw(recorded, samples_per_write))
     if points is None:
         points = enumerate_crash_points(recorded, samples_per_write,
                                         max_points, sample_seed=seed)
+    verify_start = time.perf_counter()
+    if mode == "synthesize":
+        findings = _explore_synthesized(machine, recorded, points, jobs,
+                                        secrets, verify_repair)
+        replays = 0
+    else:
+        findings = _explore_replayed(scheme, workload, seed, ops, secrets,
+                                     verify_repair, points, jobs,
+                                     fault_profile, fault_seed)
+        replays = len(points)
+    verify_wall = time.perf_counter() - verify_start
+    return ExplorationReport(
+        scheme=scheme, workload=workload, seed=seed,
+        guarantees=machine.scheme.crash_guarantees, findings=findings,
+        quiesce_time=recorded.quiesce_time,
+        write_windows=len(recorded.windows),
+        fault_profile=fault_profile, fault_seed=fault_seed,
+        mode=mode, enumerated_points=enumerated,
+        max_points=max_points, replays=replays, jobs=jobs,
+        record_wall_seconds=record_wall, verify_wall_seconds=verify_wall,
+        log_bytes=(recorded.media_log.payload_bytes
+                   if recorded.media_log is not None else 0),
+        sim_events=recorded.events_processed)
+
+
+def _explore_synthesized(machine: Machine, recorded: RecordedRun,
+                         points: list[CrashPoint], jobs: int,
+                         secrets: bool,
+                         verify_repair: bool) -> list[CrashFinding]:
+    """Verify *points* from the media log: zero simulation replays."""
+    global _SYNTH_CONTEXT
+    context = _SynthContext(
+        base=recorded.base_image, log=recorded.media_log,
+        geometry=machine.config.fs_geometry, secrets=secrets,
+        verify_repair=verify_repair,
+        guarantees=machine.scheme.crash_guarantees)
+    ordered = sorted(points, key=lambda p: (p.time, p.index))
+    if jobs > 1 and len(ordered) > 1:
+        chunks = _chunk(ordered, jobs * 4)
+        methods = multiprocessing.get_all_start_methods()
+        previous, _SYNTH_CONTEXT = _SYNTH_CONTEXT, context
+        try:
+            if "fork" in methods:
+                # workers inherit base image + log by address space; only
+                # point lists and findings cross the pipe
+                pool_ctx = multiprocessing.get_context("fork")
+                pool_kwargs = {}
+            else:
+                pool_ctx = multiprocessing.get_context(None)
+                pool_kwargs = {"initializer": _synth_init,
+                               "initargs": (context,)}
+            with pool_ctx.Pool(min(jobs, len(chunks)),
+                               **pool_kwargs) as pool:
+                per_chunk = pool.map(_verify_synth_chunk, chunks,
+                                     chunksize=1)
+        finally:
+            _SYNTH_CONTEXT = previous
+        findings = [finding for chunk in per_chunk for finding in chunk]
+    else:
+        previous, _SYNTH_CONTEXT = _SYNTH_CONTEXT, context
+        try:
+            findings = _verify_synth_chunk(ordered)
+        finally:
+            _SYNTH_CONTEXT = previous
+    findings.sort(key=lambda f: f.index)
+    return findings
+
+
+def _explore_replayed(scheme: str, workload: str, seed: int,
+                      ops: Optional[int], secrets: bool, verify_repair: bool,
+                      points: list[CrashPoint], jobs: int,
+                      fault_profile: Optional[str],
+                      fault_seed: int) -> list[CrashFinding]:
+    """The oracle: one full prefix replay per crash point."""
     tasks = [_Task(scheme, workload, seed, ops, secrets, verify_repair,
                    point.index, point.time, point.label,
                    fault_profile, fault_seed)
@@ -290,12 +481,49 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
             findings = pool.map(verify_crash_point, tasks, chunksize=chunk)
     else:
         findings = [verify_crash_point(task) for task in tasks]
-    return ExplorationReport(
-        scheme=scheme, workload=workload, seed=seed,
-        guarantees=machine.scheme.crash_guarantees, findings=findings,
-        quiesce_time=recorded.quiesce_time,
-        write_windows=len(recorded.windows),
-        fault_profile=fault_profile, fault_seed=fault_seed)
+    return findings
+
+
+def check_equivalence(scheme: str, workload: str = "microbench",
+                      seed: int = 0, ops: Optional[int] = None,
+                      jobs: int = 1, samples_per_write: int = 2,
+                      max_points: Optional[int] = 240,
+                      fault_profile: Optional[str] = None,
+                      fault_seed: int = 0) -> tuple[bool, str]:
+    """Run synthesis and replay over the same points; diff the findings.
+
+    Returns ``(equal, summary)``.  The CI smoke uses this as a cheap
+    end-to-end proof that the synthesized images stay byte-equivalent to
+    the replay oracle's.
+    """
+    synth = explore(scheme, workload, seed=seed, ops=ops, jobs=jobs,
+                    samples_per_write=samples_per_write,
+                    max_points=max_points, fault_profile=fault_profile,
+                    fault_seed=fault_seed, synthesize=True)
+    replay = explore(scheme, workload, seed=seed, ops=ops, jobs=jobs,
+                     samples_per_write=samples_per_write,
+                     max_points=max_points, fault_profile=fault_profile,
+                     fault_seed=fault_seed, synthesize=False)
+    mismatches = [
+        (s, r) for s, r in zip(synth.findings, replay.findings) if s != r]
+    equal = (not mismatches
+             and len(synth.findings) == len(replay.findings))
+    lines = [f"equivalence {scheme} x {workload} (seed {seed}, "
+             f"fault={fault_profile or 'none'}): "
+             f"{synth.points} synthesized vs {replay.points} replayed "
+             f"points, {len(mismatches)} mismatches",
+             f"  synthesis: {synth.verify_wall_seconds:.2f}s verify "
+             f"({synth.points_per_second:.0f} points/s, 0 replays)",
+             f"  replay:    {replay.verify_wall_seconds:.2f}s verify "
+             f"({replay.points_per_second:.0f} points/s, "
+             f"{replay.replays} replays)"]
+    for s, r in mismatches[:5]:
+        lines.append(f"  MISMATCH point #{s.index} t={s.crash_time:.6f}: "
+                     f"synth errors={s.errors} warnings={s.warnings} "
+                     f"violations={len(s.violations)} | replay "
+                     f"errors={r.errors} warnings={r.warnings} "
+                     f"violations={len(r.violations)}")
+    return equal, "\n".join(lines)
 
 
 # ----------------------------------------------------------------------
@@ -337,6 +565,17 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
                              "profile without latent defects")
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="fault-injection RNG seed")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--synthesize", dest="synthesize",
+                      action="store_true", default=True,
+                      help="synthesize crash images from the media "
+                           "write-log (the default: zero replays)")
+    mode.add_argument("--replay", dest="synthesize", action="store_false",
+                      help="replay every crash point from scratch "
+                           "(the slow verification oracle)")
+    parser.add_argument("--check-equivalence", action="store_true",
+                        help="run BOTH modes and fail unless their "
+                             "findings are identical")
     parser.add_argument("--json", action="store_true",
                         help="emit the machine-readable report")
     return parser.parse_args(argv)
@@ -345,6 +584,16 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
 def main(argv: Optional[list[str]] = None) -> int:
     args = _parse_args(sys.argv[1:] if argv is None else argv)
     max_points = None if args.max_points == 0 else args.max_points
+    if args.check_equivalence:
+        equal, summary = check_equivalence(
+            args.scheme, args.workload, seed=args.seed, ops=args.ops,
+            jobs=args.jobs, samples_per_write=args.samples_per_write,
+            max_points=max_points, fault_profile=args.fault_profile,
+            fault_seed=args.fault_seed)
+        print(summary)
+        print("PASS: synthesis == replay" if equal
+              else "FAIL: synthesis diverged from the replay oracle")
+        return 0 if equal else 1
     points = None
     if args.point is not None:
         machine = build_machine(args.scheme, secrets=args.secrets,
@@ -369,7 +618,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                      max_points=max_points, secrets=args.secrets,
                      verify_repair=args.verify_repair, points=points,
                      fault_profile=args.fault_profile,
-                     fault_seed=args.fault_seed)
+                     fault_seed=args.fault_seed,
+                     synthesize=args.synthesize)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -378,4 +628,4 @@ def main(argv: Optional[list[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(argv=None))

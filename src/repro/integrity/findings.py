@@ -48,11 +48,59 @@ class ExplorationReport:
     #: fault plan the sweep ran under (None = the perfect disk)
     fault_profile: str | None = None
     fault_seed: int = 0
+    #: how crash images were obtained: "synthesize" (from the media
+    #: write-log) or "replay" (full prefix re-simulation per point)
+    mode: str = "replay"
+    #: size of the *full* enumeration before any --max-points budget;
+    #: ``points < enumerated_points`` means the sweep was sampled
+    enumerated_points: int = 0
+    #: the budget in force (None = unlimited)
+    max_points: int | None = None
+    #: post-recording simulation replays performed (0 under synthesis)
+    replays: int = 0
+    #: verification pool size
+    jobs: int = 1
+    #: wall-clock split: the single recording run vs point verification
+    record_wall_seconds: float = 0.0
+    verify_wall_seconds: float = 0.0
+    #: media write-log payload bytes held during the sweep (0 on replay)
+    log_bytes: int = 0
+    #: engine events processed by the recording run
+    sim_events: int = 0
 
     # -- aggregation -----------------------------------------------------
     @property
     def points(self) -> int:
         return len(self.findings)
+
+    @property
+    def sampled(self) -> bool:
+        """True when the budget truncated the enumeration."""
+        return 0 < self.points < self.enumerated_points
+
+    @property
+    def points_per_second(self) -> float:
+        if self.verify_wall_seconds <= 0.0:
+            return 0.0
+        return self.points / self.verify_wall_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.record_wall_seconds + self.verify_wall_seconds
+
+    @property
+    def perf_extra(self) -> dict:
+        """Benchmark-grid payload (lands in BENCH_perf.json cells)."""
+        return {
+            "mode": self.mode,
+            "points": self.points,
+            "enumerated_points": self.enumerated_points,
+            "replays": self.replays,
+            "points_per_second": round(self.points_per_second, 2),
+            "record_wall_seconds": round(self.record_wall_seconds, 4),
+            "verify_wall_seconds": round(self.verify_wall_seconds, 4),
+            "log_bytes": self.log_bytes,
+        }
 
     @property
     def violation_counts(self) -> Counter:
@@ -84,15 +132,33 @@ class ExplorationReport:
     # -- rendering -------------------------------------------------------
     def summary(self) -> str:
         violating = self.points_violating()
-        return (f"{self.scheme} x {self.workload} (seed {self.seed}): "
-                f"{self.points} crash points, "
+        if self.sampled:
+            cause = (f"sampled, --max-points {self.max_points}"
+                     if self.max_points is not None
+                     and self.points == self.max_points else "subset")
+            coverage = (f"{self.points} of {self.enumerated_points} "
+                        f"enumerated crash points ({cause})")
+        elif self.enumerated_points:
+            coverage = (f"{self.points} crash points "
+                        f"(full enumeration)")
+        else:
+            coverage = f"{self.points} crash points"
+        return (f"{self.scheme} x {self.workload} (seed {self.seed}, "
+                f"{self.mode}): {coverage}, "
                 f"{len(violating)} with invariant violations "
                 f"({len(self.corruption_points)} corruption-class), "
                 f"{len(self.unexpected_findings)} outside the scheme's "
                 f"declaration")
 
     def format(self, max_examples: int = 5) -> str:
-        lines = [self.summary(), ""]
+        lines = [self.summary()]
+        if self.wall_seconds > 0.0:
+            lines.append(
+                f"verification: {self.points_per_second:.0f} points/s "
+                f"({self.record_wall_seconds:.2f}s record + "
+                f"{self.verify_wall_seconds:.2f}s verify, "
+                f"{self.replays} replays, jobs={self.jobs})")
+        lines.append("")
         counts = self.violation_counts
         if counts:
             lines.append("violations by invariant:")
@@ -133,7 +199,17 @@ class ExplorationReport:
             "scheme": self.scheme,
             "workload": self.workload,
             "seed": self.seed,
+            "mode": self.mode,
             "points": self.points,
+            "enumerated_points": self.enumerated_points,
+            "max_points": self.max_points,
+            "sampled": self.sampled,
+            "replays": self.replays,
+            "jobs": self.jobs,
+            "record_wall_seconds": self.record_wall_seconds,
+            "verify_wall_seconds": self.verify_wall_seconds,
+            "points_per_second": self.points_per_second,
+            "log_bytes": self.log_bytes,
             "write_windows": self.write_windows,
             "quiesce_time": self.quiesce_time,
             "violation_counts": dict(self.violation_counts),

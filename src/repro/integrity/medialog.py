@@ -1,0 +1,193 @@
+"""The media write-log: every sector that reached the platters, time-stamped.
+
+Crash exploration used to answer "what would the disk hold if power failed
+at instant *t*?" by re-simulating the entire workload prefix up to *t* --
+O(full replay) per crash point, hundreds of replays per sweep.  The single
+recording run already contains the answer: platter contents only change
+when the drive lays a sector down, the drive serves one media operation at
+a time, and sectors within a transfer land in LBN order, one per
+``sector_period``, each protected by its own ECC (paper, footnote 1).
+
+:class:`MediaLog` captures that stream once, through the drive's
+``on_write_commit`` observer: one :class:`MediaWrite` per write media
+operation, carrying the payload (stored exactly once -- the driver trace
+drops its copy, see ``DeviceDriver.retain_payloads``), the transfer window
+geometry, the *actual* simulated completion instant, and the sector-prefix
+length that persisted (the full count for a successful write, the torn /
+medium-error prefix for a faulted one, zero for a transient whose pass
+left nothing on the platters).
+
+:func:`synthesize_crash_image` then materializes the crash state at any
+instant with **no simulation at all**: base image + the durable prefix of
+every window that ended by *t* + the in-flight prefix of the (at most one)
+window containing *t*.  The prefix arithmetic replicates
+``InFlightWrite.sectors_applied_by`` expression-for-expression so the
+synthesized image is byte-identical to the replay-derived one -- the
+replay path is kept as a verification oracle and
+``tests/integrity/test_synthesis_equivalence.py`` holds the proof.
+
+:class:`ImageSynthesizer` is the worker-pool form: crash points arrive in
+time-sorted chunks, so the image is built *incrementally* -- each point
+applies only the sectors committed since the previous point instead of
+re-applying the whole log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.storage import SectorStore
+
+
+@dataclass(frozen=True)
+class MediaWrite:
+    """One write media operation as it played out on the platters.
+
+    ``end`` is the instant the drive's media operation actually completed
+    (``engine.now`` at the commit hook), *not* the nominal
+    ``transfer_start + nsectors * sector_period``: a torn write's transfer
+    stops at the failing sector, and synthesis must retire the window at
+    exactly the instant the replayed simulation does.
+    """
+
+    lbn: int
+    data: bytes
+    transfer_start: float
+    sector_period: float
+    #: simulated instant the media operation ended (window retired)
+    end: float
+    #: sector-prefix length that persisted once the operation ended
+    #: (nsectors for success, the torn/medium prefix, 0 for transient)
+    durable: int
+
+    def sectors_in_flight_by(self, when: float, sector_size: int) -> int:
+        """Sector prefix under the head by *when*, mid-window.
+
+        Mirrors ``InFlightWrite.sectors_applied_by`` exactly -- same
+        guards, same floating-point expression -- so a synthesized
+        mid-transfer prefix matches the replayed one bit for bit.
+        """
+        if when <= self.transfer_start:
+            return 0
+        if self.sector_period == 0.0:
+            return len(self.data) // sector_size
+        elapsed = when - self.transfer_start
+        return min(int(elapsed / self.sector_period),
+                   len(self.data) // sector_size)
+
+
+class MediaLog:
+    """Append-only record of every write that reached the media.
+
+    Memory discipline (the PR-4 ``retain_payloads`` rule): each window's
+    payload bytes are stored here exactly once -- the log holds a reference
+    to the very object the driver handed the drive, and the driver trace
+    drops its own copy at completion.  ``payload_bytes`` is therefore
+    bounded by the workload's unique write volume, never duplicated
+    per-sector or per-crash-point.
+    """
+
+    def __init__(self, sector_size: int) -> None:
+        self.sector_size = sector_size
+        self.entries: list[MediaWrite] = []
+
+    # -- the drive-facing observer (Disk.on_write_commit signature) -------
+    def record(self, lbn: int, data: bytes, transfer_start: float,
+               sector_period: float, end: float, durable: int) -> None:
+        self.entries.append(MediaWrite(
+            lbn=lbn, data=data, transfer_start=transfer_start,
+            sector_period=sector_period, end=end, durable=durable))
+
+    def attach(self, disk) -> None:
+        if disk.on_write_commit is not None:
+            raise RuntimeError("disk already has a write-commit observer")
+        self.sector_size = disk.geometry.sector_size
+        disk.on_write_commit = self.record
+
+    def detach(self, disk) -> None:
+        disk.on_write_commit = None
+
+    # -- instrumentation ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total payload held (each window's bytes counted exactly once)."""
+        return sum(len(entry.data) for entry in self.entries)
+
+    @property
+    def sectors_durable(self) -> int:
+        return sum(entry.durable for entry in self.entries)
+
+
+class ImageSynthesizer:
+    """Incremental crash-image synthesis over a time-sorted point stream.
+
+    The drive serves one media operation at a time, so log windows are
+    disjoint and ordered by ``transfer_start``; a cursor walks them once.
+    Windows fully retired by the requested instant apply their durable
+    prefix to the shared evolving image.  The (at most one) window still
+    in flight applies its crash-time prefix:
+
+    * prefix <= durable -- those sectors persist anyway when the window
+      retires, with identical bytes, so they go onto the shared image too
+      (this is what makes consecutive points within one window O(delta));
+    * prefix > durable (a transient fault's pass: sectors visible under
+      the head mid-window but revoked at completion) -- the prefix goes
+      onto a throwaway snapshot so the shared image never holds bytes the
+      platters would not keep.
+
+    Instants must be requested in non-decreasing order (the explorer's
+    chunks are time-sorted); going backwards raises.
+    """
+
+    def __init__(self, base: SectorStore, log: MediaLog) -> None:
+        self._image = base.snapshot()
+        self._entries = sorted(log.entries, key=lambda e: e.transfer_start)
+        self._sector_size = log.sector_size
+        self._cursor = 0
+        self._last = float("-inf")
+
+    def image_at(self, when: float) -> SectorStore:
+        """The surviving image for a power failure at *when*.
+
+        Returns the shared evolving store (or a snapshot overlaid with a
+        revocable transient prefix); callers must treat it as read-only --
+        ``fsck`` is, and ``repair`` takes its own snapshot.
+        """
+        if when < self._last:
+            raise ValueError(
+                f"synthesis points must be time-sorted ({when} < {self._last})")
+        self._last = when
+        image = self._image
+        entries = self._entries
+        cursor = self._cursor
+        while cursor < len(entries) and entries[cursor].end <= when:
+            entry = entries[cursor]
+            image.write_partial(entry.lbn, entry.data, entry.durable)
+            cursor += 1
+        self._cursor = cursor
+        if cursor < len(entries):
+            entry = entries[cursor]
+            applied = entry.sectors_in_flight_by(when, self._sector_size)
+            if applied:
+                if applied <= entry.durable:
+                    image.write_partial(entry.lbn, entry.data, applied)
+                else:
+                    probe = image.snapshot()
+                    probe.write_partial(entry.lbn, entry.data, applied)
+                    return probe
+        return image
+
+
+def synthesize_crash_image(base: SectorStore, log: MediaLog,
+                           when: float) -> SectorStore:
+    """One-shot synthesis: the image a power failure at *when* leaves.
+
+    Equivalent to replaying the recorded workload to *when* and taking
+    :func:`repro.integrity.crash.crash_image` (for schemes whose crash
+    state lives entirely on the media -- NVRAM's battery-backed survivors
+    need the replay path).
+    """
+    return ImageSynthesizer(base, log).image_at(when)

@@ -1,0 +1,75 @@
+"""The media write-log must hold each payload exactly once.
+
+Companion regression to ``test_trace_memory.py``: capture-enabled
+recording runs attach a :class:`~repro.integrity.medialog.MediaLog` to the
+drive, and the memory discipline is the PR-4 ``retain_payloads`` rule --
+the log keeps one reference per media operation (a reference to the very
+bytes object the drive transferred, never a copy), while the driver trace
+keeps dropping its payloads at completion.  A sweep over hundreds of crash
+points must cost one workload's write volume, not one per crash point.
+"""
+
+from repro.disk import Disk
+from repro.driver import DeviceDriver, FlagPolicy, FlagSemantics
+from repro.integrity.medialog import MediaLog
+from repro.sim import Engine
+
+
+def churn_writes(eng, driver, count=200, sectors=4):
+    payloads = [bytes([i % 251]) * (sectors * 512) for i in range(count)]
+    requests = [driver.write(1000 + 2 * sectors * i, payloads[i])
+                for i in range(count)]
+    for request in requests:
+        eng.run_until(request.done)
+    return payloads
+
+
+def test_log_holds_each_window_once_and_trace_stays_flat():
+    eng = Engine()
+    disk = Disk(eng)
+    driver = DeviceDriver(eng, disk, FlagPolicy(FlagSemantics.IGNORE))
+    log = MediaLog(disk.geometry.sector_size)
+    log.attach(disk)
+    payloads = churn_writes(eng, driver, count=50)
+    # the driver trace keeps zero payload bytes (the PR-4 default) ...
+    assert sum(len(r.data) for r in driver.trace
+               if r.data is not None) == 0
+    # ... while the log holds exactly the media write volume, once:
+    # one entry per media operation, payload stored by reference
+    assert log.sectors_durable == disk.stats.sectors_written
+    assert log.payload_bytes == \
+        sum(len(entry.data) for entry in log.entries)
+    assert log.payload_bytes <= sum(len(p) for p in payloads)
+    assert len({id(entry.data) for entry in log.entries}) == len(log)
+
+
+def test_log_references_are_not_copies():
+    # the drive hands the log the identical bytes object it transferred;
+    # a copy per window would double the recording's footprint
+    eng = Engine()
+    disk = Disk(eng)
+    driver = DeviceDriver(eng, disk, FlagPolicy(FlagSemantics.IGNORE))
+    driver.retain_payloads = True
+    log = MediaLog(disk.geometry.sector_size)
+    log.attach(disk)
+    churn_writes(eng, driver, count=5)
+    retained = {id(r.data) for r in driver.trace if r.data is not None}
+    assert retained, "retain_payloads must keep the driver copies"
+    for entry in log.entries:
+        assert id(entry.data) in retained, \
+            "log entry duplicated the payload instead of sharing it"
+
+
+def test_single_observer_slot_is_enforced():
+    eng = Engine()
+    disk = Disk(eng)
+    log = MediaLog(disk.geometry.sector_size)
+    log.attach(disk)
+    try:
+        MediaLog(disk.geometry.sector_size).attach(disk)
+    except RuntimeError:
+        pass
+    else:
+        raise AssertionError("second attach must be rejected")
+    log.detach(disk)
+    MediaLog(disk.geometry.sector_size).attach(disk)

@@ -115,6 +115,20 @@ class TestBudgetedSweeps:
         parallel = small_sweep("chains", max_points=16, jobs=2)
         assert serial.findings == parallel.findings
 
+    def test_default_sweep_synthesizes_with_zero_replays(self):
+        report = small_sweep("conventional", max_points=16)
+        assert report.mode == "synthesize"
+        assert report.replays == 0
+        assert report.log_bytes > 0
+        assert report.enumerated_points >= report.points
+
+    def test_nvram_falls_back_to_replay_oracle(self):
+        # NVRAM's crash survivors live in battery-backed memory, invisible
+        # to a media-log synthesis; the sweep must use the replay oracle
+        report = small_sweep("nvram", max_points=8)
+        assert report.mode == "replay"
+        assert report.replays == report.points == 8
+
     def test_single_point_reproduces_sweep_finding(self):
         report = small_sweep("noorder", max_points=None)
         target = report.corruption_points[0]
@@ -166,7 +180,30 @@ class TestCli:
         code = main(["--scheme", "noorder", "--point", "0", "--jobs", "1"])
         assert code == 0
         out = capsys.readouterr().out
-        assert "1 crash points" in out
+        # verified count AND full enumeration size are both stated
+        assert "1 of " in out and "(subset)" in out
+
+    def test_cli_states_budget_sampling(self, capsys):
+        # satellite regression: a --max-points truncation is never silent;
+        # the report must state enumerated vs verified counts
+        from repro.integrity.explorer import main
+
+        code = main(["--scheme", "noorder", "--jobs", "1",
+                     "--max-points", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "10 of " in out
+        assert "sampled, --max-points 10" in out
+
+    def test_cli_replay_oracle_flag(self, capsys):
+        from repro.integrity.explorer import main
+
+        code = main(["--scheme", "conventional", "--jobs", "1",
+                     "--max-points", "8", "--replay"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(seed 0, replay)" in out
+        assert "8 replays" in out
 
 
 @pytest.mark.slow
