@@ -1,0 +1,110 @@
+"""Parallel fsck wall clock: serial vs pFSCK-style per-cg pools.
+
+Not a paper table -- this tracks the harness's own audit throughput.  One
+sizable populated image is audited at pool widths 1/2/4; each width's
+best-of-three wall clock, the findings-identity verdict, and the measured
+speedup land in the ``BENCH_perf.json`` trajectory (as a ``fsck_parallel``
+grid) so the trend survives across sessions.
+
+The identity assertion is unconditional: the pooled audit must reproduce
+the serial finding-set byte for byte, every run, everywhere.  The speedup
+assertion is host-gated: forked workers can only beat the serial scan
+when the host actually has cores to run them on (``os.cpu_count() >= 4``);
+on smaller hosts the numbers are recorded but not asserted, because a
+1-core box physically cannot run 4 scanning processes concurrently.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import SCALE, emit
+from repro.fs.layout import FSGeometry
+from repro.harness.parallel import GRID_REPORTS, CellStats, GridReport
+from repro.harness.report import format_table
+from repro.integrity.fsck import fsck
+from repro.machine import Machine, MachineConfig
+from repro.ordering import ConventionalScheme
+
+GEOMETRY = FSGeometry(ipg=1024, dfrags_per_cg=8192, ncg=8)
+JOBS = [1, 2, 4]
+ROUNDS = 3
+
+
+def build_image():
+    machine = Machine(MachineConfig(scheme=ConventionalScheme(),
+                                    fs_geometry=GEOMETRY))
+    machine.format()
+    ndirs = max(6, int(80 * SCALE))
+    nfiles = max(10, int(120 * SCALE))
+
+    def populate(fs):
+        payload = b"x" * 6144
+        for d in range(ndirs):
+            yield from fs.mkdir(f"/d{d}")
+            for f in range(nfiles):
+                yield from fs.write_file(f"/d{d}/f{f}", payload)
+        yield from fs.sync()
+
+    machine.run_instantly(populate(machine.fs), name="populate")
+    return machine.disk.storage, ndirs * nfiles
+
+
+def findings_key(report):
+    return (tuple(report.errors), tuple(report.warnings),
+            tuple((ino, din.pack()) for ino, din in report.inodes.items()),
+            tuple((ino, tuple(refs))
+                  for ino, refs in report.references.items()))
+
+
+def test_fsck_parallel_grid(once):
+    def experiment():
+        image, files = build_image()
+        results = {}
+        for jobs in JOBS:
+            walls, report = [], None
+            for _ in range(ROUNDS):
+                start = time.perf_counter()
+                report = fsck(image, GEOMETRY, jobs=jobs)
+                walls.append(time.perf_counter() - start)
+            results[jobs] = (min(walls), report)
+        return files, results
+
+    grid_start = time.perf_counter()
+    files, results = once(experiment)
+    grid_wall = time.perf_counter() - grid_start
+
+    serial_wall, serial_report = results[1]
+    assert serial_report.clean and not serial_report.warnings
+    rows, cells = [], []
+    for jobs in JOBS:
+        wall, report = results[jobs]
+        identical = findings_key(report) == findings_key(serial_report)
+        speedup = serial_wall / wall if wall else 0.0
+        rows.append([jobs, round(wall, 3), f"{speedup:.2f}x",
+                     "yes" if identical else "NO"])
+        cells.append(CellStats(
+            key=f"jobs={jobs}", wall_seconds=round(wall, 4), sim_events=0,
+            extra={"speedup": round(speedup, 3),
+                   "identical": identical,
+                   "files": files,
+                   "inodes": len(report.inodes),
+                   "host_cpus": os.cpu_count()}))
+        # the contract every host must honour
+        assert identical, f"jobs={jobs} diverged from the serial audit"
+
+    grid = GridReport(name="fsck_parallel", jobs=max(JOBS),
+                      wall_seconds=round(grid_wall, 3), cells=cells)
+    GRID_REPORTS.append(grid)
+
+    emit("fsck_parallel", format_table(
+        f"Parallel fsck ({files} files, {GEOMETRY.ncg} cylinder groups, "
+        f"{os.cpu_count()} host cpus; best of {ROUNDS}, host wall clock "
+        f"-- varies run to run)",
+        ["Jobs", "Wall (s)", "Speedup", "Identical"], rows))
+
+    # wall-clock speedup needs real cores under the pool
+    if (os.cpu_count() or 1) >= 4:
+        speedup4 = serial_wall / results[4][0]
+        assert speedup4 >= 2.0, (
+            f"jobs=4 speedup {speedup4:.2f}x < 2x on a "
+            f"{os.cpu_count()}-cpu host")

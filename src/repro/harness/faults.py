@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from repro.faults import MediaError, PROFILES
 from repro.integrity.explorer import SCHEMES, build_machine, explore
 from repro.integrity.fsck import fsck
+from repro.integrity.monitor import OrderingMonitor, monitor_supported
 from repro.sim import ProcessCrashed, SimulationError
 from repro.workloads.churn import churn_workload
 
@@ -75,11 +76,17 @@ class CellResult:
     crash_mode: str = ""
     crash_unexpected: int = 0
     crash_note: str = ""
+    #: online ordering monitor (``--monitor``): "", "online" or
+    #: "unsupported", plus what it saw during the cell's run
+    monitor_state: str = ""
+    monitor_violations: int = 0
+    monitor_unexpected: int = 0
 
 
 def run_cell(scheme_name: str, profile: str, seed: int,
              operations: int, explore_points: int = 0,
-             synthesize: bool = True) -> CellResult:
+             synthesize: bool = True, monitor: bool = False,
+             fsck_jobs: int = 1) -> CellResult:
     """Run one cell of the sweep and classify the survivor.
 
     ``explore_points > 0`` additionally sweeps that many crash points of
@@ -88,11 +95,27 @@ def run_cell(scheme_name: str, profile: str, seed: int,
     the media write-log by default (``synthesize=False`` replays, the
     oracle).  Profiles with latent defects can abort the victim workload
     mid-recording; that is reported per cell, not raised.
+
+    ``monitor=True`` attaches the online ordering-rule monitor for the
+    whole cell: unexpected violations at commit time count as damage,
+    classified exactly like fsck damage (accounted-for -> ``degraded``,
+    unaccounted-for -> ``SILENT-CORRUPTION``).  ``fsck_jobs > 1`` runs
+    the post-settle fsck over a per-cylinder-group pool.
     """
     machine = build_machine(scheme_name, fault_profile=profile,
                             fault_seed=seed)
     injector = machine.disk.faults
     result = CellResult(scheme=scheme_name, profile=profile, seed=seed)
+
+    watcher = None
+    if monitor:
+        if monitor_supported(machine):
+            result.monitor_state = "online"
+            watcher = OrderingMonitor(machine.config.fs_geometry,
+                                      machine.scheme.crash_guarantees)
+            watcher.attach(machine.disk)
+        else:
+            result.monitor_state = "unsupported"
 
     victim = machine.spawn(
         churn_workload(machine, seed=seed, operations=operations),
@@ -132,7 +155,13 @@ def run_cell(scheme_name: str, profile: str, seed: int,
         injector.log(machine.engine.now, "wedged",
                      f"sync still failing after {SETTLE_ATTEMPTS} attempts")
 
-    report = fsck(machine.disk.storage, machine.config.fs_geometry)
+    if watcher is not None:
+        watcher.detach(machine.disk)
+        result.monitor_violations = len(watcher.violations)
+        result.monitor_unexpected = len(watcher.unexpected)
+
+    report = fsck(machine.disk.storage, machine.config.fs_geometry,
+                  jobs=fsck_jobs)
     degradations = injector.degradations()
 
     result.injected = injector.injected
@@ -146,7 +175,8 @@ def run_cell(scheme_name: str, profile: str, seed: int,
         f"t={event.time:.4f} {event.kind}: {event.detail}"
         for event in degradations]
 
-    if report.clean:
+    damaged = not report.clean or result.monitor_unexpected > 0
+    if not damaged:
         result.verdict = "recovered" if degradations else "clean"
     elif degradations:
         result.verdict = "degraded"
@@ -159,7 +189,8 @@ def run_cell(scheme_name: str, profile: str, seed: int,
                             ops=operations, jobs=1,
                             max_points=explore_points,
                             fault_profile=profile, fault_seed=seed,
-                            synthesize=synthesize)
+                            synthesize=synthesize, monitor=monitor,
+                            fsck_jobs=fsck_jobs)
         except Exception as exc:
             # e.g. a latent-defect profile EIO-aborts the recorded victim
             result.crash_note = (f"exploration n/a: "
@@ -167,7 +198,8 @@ def run_cell(scheme_name: str, profile: str, seed: int,
         else:
             result.crash_points = sweep.points
             result.crash_mode = sweep.mode
-            result.crash_unexpected = len(sweep.unexpected_findings)
+            result.crash_unexpected = (len(sweep.unexpected_findings)
+                                       + len(sweep.monitor_unexpected))
     return result
 
 
@@ -179,9 +211,12 @@ def format_report(cells: list[CellResult], operations: int) -> str:
              f"cells: {len(cells)}",
              ""]
     explored = any(cell.crash_points or cell.crash_note for cell in cells)
+    monitored = any(cell.monitor_state for cell in cells)
     header = (f"{'scheme':<14}{'profile':<11}{'seed':>5}{'inj':>6}"
               f"{'retry':>7}{'remap':>7}{'eio':>5}{'lost':>6}"
               f"{'fsck':>6}")
+    if monitored:
+        header += f"{'mon':>6}"
     if explored:
         header += f"{'pts':>6}{'unexp':>7}  mode       "
     header += "  verdict"
@@ -192,6 +227,10 @@ def format_report(cells: list[CellResult], operations: int) -> str:
                f"{cell.injected:>6}{cell.retries:>7}{cell.remaps:>7}"
                f"{cell.io_errors:>5}{cell.lost_writes:>6}"
                f"{cell.fsck_errors:>6}")
+        if monitored:
+            mon = (str(cell.monitor_violations)
+                   if cell.monitor_state == "online" else "-")
+            row += f"{mon:>6}"
         if explored:
             mode = cell.crash_mode or ("n/a" if cell.crash_note else "-")
             row += (f"{cell.crash_points:>6}{cell.crash_unexpected:>7}"
@@ -215,6 +254,9 @@ def format_report(cells: list[CellResult], operations: int) -> str:
         lines.append("")
     bad = [cell for cell in cells if cell.verdict == "SILENT-CORRUPTION"]
     lines.append(f"silent corruption: {len(bad)}")
+    if monitored:
+        lines.append(f"online ordering violations outside declarations: "
+                     f"{sum(cell.monitor_unexpected for cell in cells)}")
     if explored:
         lines.append(f"crash points outside declarations: "
                      f"{sum(cell.crash_unexpected for cell in cells)}")
@@ -239,6 +281,12 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--explore", type=int, default=0, metavar="N",
                         help="also sweep up to N crash points per cell "
                              "(crash AND fault; 0 = off)")
+    parser.add_argument("--monitor", action="store_true",
+                        help="attach the online ordering-rule monitor to "
+                             "every cell (unexpected commit-time "
+                             "violations count as damage)")
+    parser.add_argument("--fsck-jobs", type=int, default=1,
+                        help="pFSCK pool size for each post-settle fsck")
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--synthesize", dest="synthesize",
                       action="store_true", default=True,
@@ -271,13 +319,18 @@ def main(argv: list[str]) -> int:
             for seed in seeds:
                 cell = run_cell(scheme_name, profile, seed, args.ops,
                                 explore_points=args.explore,
-                                synthesize=args.synthesize)
+                                synthesize=args.synthesize,
+                                monitor=args.monitor,
+                                fsck_jobs=args.fsck_jobs)
                 cells.append(cell)
                 extra = ""
+                if args.monitor and cell.monitor_state == "online":
+                    extra += (f" monitor={cell.monitor_violations}"
+                              f"/{cell.monitor_unexpected}-unexpected")
                 if args.explore:
-                    extra = (f" crash-explored={cell.crash_points} "
-                             f"[{cell.crash_mode or 'n/a'}] "
-                             f"unexpected={cell.crash_unexpected}")
+                    extra += (f" crash-explored={cell.crash_points} "
+                              f"[{cell.crash_mode or 'n/a'}] "
+                              f"unexpected={cell.crash_unexpected}")
                 print(f"{cell.scheme}/{cell.profile}/seed={cell.seed}: "
                       f"{cell.verdict} (injected={cell.injected} "
                       f"retries={cell.retries} remaps={cell.remaps})"
@@ -299,6 +352,12 @@ def main(argv: list[str]) -> int:
             print(f"DECLARATION BREACH: {cell.scheme}/{cell.profile}/"
                   f"seed={cell.seed}: {cell.crash_unexpected} crash "
                   f"points outside the scheme's declaration",
+                  file=sys.stderr)
+            failed = True
+        if cell.monitor_unexpected and not cell.degradations:
+            print(f"ONLINE ORDERING BREACH: {cell.scheme}/{cell.profile}/"
+                  f"seed={cell.seed}: {cell.monitor_unexpected} "
+                  f"unexpected violations at commit time",
                   file=sys.stderr)
             failed = True
     return 1 if failed else 0

@@ -85,13 +85,20 @@ def quiescent(machine: Machine) -> bool:
 def record_run(machine: Machine, workload: Generator,
                name: str = "victim",
                max_events: Optional[int] = 20_000_000,
-               capture_media: bool = False) -> RecordedRun:
+               capture_media: bool = False,
+               monitor=None) -> RecordedRun:
     """Run *workload* to completion, then to quiescence, recording writes.
 
     ``capture_media=True`` additionally snapshots the pre-workload image and
     logs every sector that reaches the platters (payload, LBN, per-sector
     commit timing, torn/faulted outcomes) into ``recorded.media_log`` so
     crash images can be synthesized without replay.
+
+    *monitor* (an :class:`~repro.integrity.monitor.OrderingMonitor`)
+    additionally watches the same commit stream for ordering-rule
+    violations.  The monitor chains behind the media log (it is attached
+    last, so the log's observer still fires first) and, like the log, is
+    purely passive.
     """
     recorded = RecordedRun()
     machine.disk.on_transfer_start = \
@@ -104,6 +111,8 @@ def record_run(machine: Machine, workload: Generator,
         recorded.base_image = machine.disk.storage.snapshot()
         recorded.media_log = MediaLog(machine.disk.geometry.sector_size)
         recorded.media_log.attach(machine.disk)
+    if monitor is not None:
+        monitor.attach(machine.disk)
     try:
         engine = machine.engine
         process = engine.process(workload, name=name)
@@ -129,6 +138,8 @@ def record_run(machine: Machine, workload: Generator,
         recorded.events_processed = engine.events_processed
     finally:
         machine.disk.on_transfer_start = None
+        if monitor is not None:
+            monitor.detach(machine.disk)  # unchains back to the media log
         if capture_media:
             recorded.media_log.detach(machine.disk)
     if capture_media and machine.obs is not None:

@@ -21,9 +21,15 @@ from repro.integrity.invariants import (
     classify_report,
     unexpected,
 )
+from repro.integrity.monitor import (
+    OrderingMonitor,
+    OrderingViolation,
+    monitor_supported,
+)
 from repro.integrity.secrets import plant_secrets, find_secret_leaks
 
 __all__ = ["CrashFinding", "CrashScheduler", "ExplorationReport",
-           "FsckReport", "INVARIANTS", "Invariant", "Severity", "Violation",
+           "FsckReport", "INVARIANTS", "Invariant", "OrderingMonitor",
+           "OrderingViolation", "Severity", "Violation",
            "classify_report", "crash_image", "fsck", "find_secret_leaks",
-           "plant_secrets", "repair", "unexpected"]
+           "monitor_supported", "plant_secrets", "repair", "unexpected"]

@@ -45,11 +45,18 @@ parallel sweeps produce identical findings.
 CLI::
 
     python -m repro.integrity.explorer --scheme softupdates \
-        --workload microbench --jobs 4
+        --workload microbench --jobs 4 --monitor --fsck-jobs 1
+
+``--monitor`` additionally attaches the online ordering-rule monitor
+(:mod:`repro.integrity.monitor`) to the recording run, so breaches are
+flagged at commit time as well as post-crash; ``--fsck-jobs N`` runs each
+per-image fsck pFSCK-style over a per-cylinder-group pool (serial sweeps
+only -- pool workers cannot nest pools).
 
 Exit status is 0 when every crash state falls within the scheme's declared
 guarantees (for No Order that includes corruption -- it declares itself
-unsafe), 1 when a scheme broke its own declaration, 2 on usage errors.
+unsafe) AND the monitor, when attached, saw no unexpected online
+violations; 1 when a scheme broke its own declaration, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -78,6 +85,7 @@ from repro.integrity.invariants import (
     unexpected,
 )
 from repro.integrity.medialog import ImageSynthesizer, MediaLog
+from repro.integrity.monitor import OrderingMonitor, monitor_supported
 from repro.integrity.secrets import find_secret_leaks, plant_secrets
 from repro.machine import Machine, MachineConfig
 from repro.ordering import (
@@ -88,7 +96,9 @@ from repro.ordering import (
     SchedulerFlagScheme,
     SoftUpdatesScheme,
 )
-from repro.workloads.churn import churn_workload, microbench_churn
+from repro.ordering.shims import SHIMS
+from repro.workloads.churn import churn_workload, microbench_churn, \
+    remove_churn, reuse_churn
 
 #: the exploration testbed: 2 cylinder groups, 256 inodes each, 2 MB data
 #: each -- small enough that a full sweep fscks hundreds of images fast
@@ -102,6 +112,9 @@ SCHEMES = {
     "softupdates": SoftUpdatesScheme,
     "nvram": NvramScheme,
 }
+# the rule-breaking mutation shims ride along so breaches are
+# reproducible from the CLI (and the mutation tests can sweep them)
+SCHEMES.update({name: cls for name, (cls, _rule) in SHIMS.items()})
 
 
 def _microbench(machine: Machine, seed: int, ops: int) -> Generator:
@@ -112,10 +125,20 @@ def _churn(machine: Machine, seed: int, ops: int) -> Generator:
     return churn_workload(machine, seed=seed, operations=ops)
 
 
+def _remove(machine: Machine, seed: int, ops: int) -> Generator:
+    return remove_churn(machine, seed=seed, files=ops)
+
+
+def _reuse(machine: Machine, seed: int, ops: int) -> Generator:
+    return reuse_churn(machine, seed=seed, files=ops)
+
+
 #: name -> (generator factory, default ops)
 WORKLOADS = {
     "microbench": (_microbench, 24),
     "churn": (_churn, 40),
+    "remove": (_remove, 12),
+    "reuse": (_reuse, 12),
 }
 
 
@@ -247,13 +270,14 @@ class _Task:
     label: str
     fault_profile: Optional[str] = None
     fault_seed: int = 0
+    fsck_jobs: int = 1
 
 
 def _classify_image(image, geometry, secrets: bool, verify_repair: bool,
                     guarantees, index: int, crash_time: float,
-                    label: str) -> CrashFinding:
+                    label: str, fsck_jobs: int = 1) -> CrashFinding:
     """fsck + invariant classification of one surviving image."""
-    report = fsck(image, geometry)
+    report = fsck(image, geometry, jobs=fsck_jobs)
     leaks = find_secret_leaks(image, geometry) if secrets else []
     violations = classify_report(report, leaks)
     if verify_repair and not any(v.is_corruption for v in violations):
@@ -291,7 +315,8 @@ def verify_crash_point(task: _Task) -> CrashFinding:
     image = crash_image(machine)
     return _classify_image(image, machine.config.fs_geometry, task.secrets,
                            task.verify_repair, machine.scheme.crash_guarantees,
-                           task.index, task.crash_time, task.label)
+                           task.index, task.crash_time, task.label,
+                           fsck_jobs=task.fsck_jobs)
 
 
 # ----------------------------------------------------------------------
@@ -312,6 +337,7 @@ class _SynthContext:
     secrets: bool
     verify_repair: bool
     guarantees: object     # CrashGuarantees
+    fsck_jobs: int = 1
 
 
 _SYNTH_CONTEXT: Optional[_SynthContext] = None
@@ -337,7 +363,8 @@ def _verify_synth_chunk(chunk: list[CrashPoint]) -> list[CrashFinding]:
         image = synthesizer.image_at(point.time)
         findings.append(_classify_image(
             image, ctx.geometry, ctx.secrets, ctx.verify_repair,
-            ctx.guarantees, point.index, point.time, point.label))
+            ctx.guarantees, point.index, point.time, point.label,
+            fsck_jobs=ctx.fsck_jobs))
     return findings
 
 
@@ -363,7 +390,9 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
             points: Optional[list[CrashPoint]] = None,
             fault_profile: Optional[str] = None,
             fault_seed: int = 0,
-            synthesize: bool = True) -> ExplorationReport:
+            synthesize: bool = True,
+            monitor: bool = False,
+            fsck_jobs: int = 1) -> ExplorationReport:
     """Record once, enumerate, verify every crash point; returns the report.
 
     ``synthesize=True`` (the default) materializes each crash image from
@@ -373,22 +402,43 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
     fall back to replay automatically.  Either way, ``jobs > 1`` fans the
     verification out over a process pool and results are deterministic in
     (scheme, workload, seed, ops, samples_per_write, max_points) --
-    independent of ``jobs`` and of the verification mode.
+    independent of ``jobs``, ``fsck_jobs`` and the verification mode.
 
     *fault_profile* adds the fault dimension: the victim runs against an
     unreliable disk (crash AND fault, then fsck).  Use a profile without
     latent defects (e.g. ``"transient"``) so the driver recovers every
     fault and the victim workload itself never aborts on EIO.
+
+    ``monitor=True`` attaches the online :class:`OrderingMonitor` to the
+    recording run; its violations land in the report (and fail
+    ``report.exit_status``) without changing the simulation timeline.
+    ``fsck_jobs > 1`` runs each per-image fsck with a pFSCK-style
+    per-cylinder-group pool; it is honoured only when the exploration
+    itself is serial (``jobs == 1``), because daemonic pool workers
+    cannot fork their own pools.
     """
     machine = build_machine(scheme, secrets=secrets,
                             fault_profile=fault_profile,
                             fault_seed=fault_seed)
     mode = "synthesize" if synthesize and synthesis_supported(machine) \
         else "replay"
+    monitor_state = "off"
+    watcher = None
+    if monitor:
+        if monitor_supported(machine):
+            monitor_state = "online"
+            watcher = OrderingMonitor(
+                machine.config.fs_geometry,
+                machine.scheme.crash_guarantees,
+                registry=machine.obs.registry if machine.obs else None)
+        else:
+            monitor_state = "unsupported"
+    effective_fsck_jobs = fsck_jobs if jobs <= 1 else 1
     record_start = time.perf_counter()
     recorded = record_run(machine,
                           build_workload(machine, workload, seed, ops),
-                          capture_media=(mode == "synthesize"))
+                          capture_media=(mode == "synthesize"),
+                          monitor=watcher)
     record_wall = time.perf_counter() - record_start
     enumerated = len(_enumerate_raw(recorded, samples_per_write))
     if points is None:
@@ -397,12 +447,14 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
     verify_start = time.perf_counter()
     if mode == "synthesize":
         findings = _explore_synthesized(machine, recorded, points, jobs,
-                                        secrets, verify_repair)
+                                        secrets, verify_repair,
+                                        effective_fsck_jobs)
         replays = 0
     else:
         findings = _explore_replayed(scheme, workload, seed, ops, secrets,
                                      verify_repair, points, jobs,
-                                     fault_profile, fault_seed)
+                                     fault_profile, fault_seed,
+                                     effective_fsck_jobs)
         replays = len(points)
     verify_wall = time.perf_counter() - verify_start
     return ExplorationReport(
@@ -416,20 +468,25 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
         record_wall_seconds=record_wall, verify_wall_seconds=verify_wall,
         log_bytes=(recorded.media_log.payload_bytes
                    if recorded.media_log is not None else 0),
-        sim_events=recorded.events_processed)
+        sim_events=recorded.events_processed,
+        monitor=monitor_state,
+        monitor_windows=watcher.windows_seen if watcher else 0,
+        monitor_violations=tuple(watcher.violations) if watcher else (),
+        fsck_jobs=effective_fsck_jobs)
 
 
 def _explore_synthesized(machine: Machine, recorded: RecordedRun,
                          points: list[CrashPoint], jobs: int,
-                         secrets: bool,
-                         verify_repair: bool) -> list[CrashFinding]:
+                         secrets: bool, verify_repair: bool,
+                         fsck_jobs: int = 1) -> list[CrashFinding]:
     """Verify *points* from the media log: zero simulation replays."""
     global _SYNTH_CONTEXT
     context = _SynthContext(
         base=recorded.base_image, log=recorded.media_log,
         geometry=machine.config.fs_geometry, secrets=secrets,
         verify_repair=verify_repair,
-        guarantees=machine.scheme.crash_guarantees)
+        guarantees=machine.scheme.crash_guarantees,
+        fsck_jobs=fsck_jobs)
     ordered = sorted(points, key=lambda p: (p.time, p.index))
     if jobs > 1 and len(ordered) > 1:
         chunks = _chunk(ordered, jobs * 4)
@@ -466,11 +523,12 @@ def _explore_replayed(scheme: str, workload: str, seed: int,
                       ops: Optional[int], secrets: bool, verify_repair: bool,
                       points: list[CrashPoint], jobs: int,
                       fault_profile: Optional[str],
-                      fault_seed: int) -> list[CrashFinding]:
+                      fault_seed: int,
+                      fsck_jobs: int = 1) -> list[CrashFinding]:
     """The oracle: one full prefix replay per crash point."""
     tasks = [_Task(scheme, workload, seed, ops, secrets, verify_repair,
                    point.index, point.time, point.label,
-                   fault_profile, fault_seed)
+                   fault_profile, fault_seed, fsck_jobs)
              for point in points]
     if jobs > 1 and len(tasks) > 1:
         methods = multiprocessing.get_all_start_methods()
@@ -545,6 +603,14 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--jobs", type=int,
                         default=max(1, min(4, os.cpu_count() or 1)),
                         help="verification pool size (default: up to 4)")
+    parser.add_argument("--fsck-jobs", type=int, default=1,
+                        help="pFSCK pool size per crash image (honoured "
+                             "only with --jobs 1: pool workers cannot "
+                             "nest pools)")
+    parser.add_argument("--monitor", action="store_true",
+                        help="attach the online ordering-rule monitor to "
+                             "the recording run; unexpected online "
+                             "violations fail the sweep")
     parser.add_argument("--samples-per-write", type=int, default=2,
                         help="mid-transfer partial-prefix points per write")
     parser.add_argument("--max-points", type=int, default=240,
@@ -619,12 +685,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                      verify_repair=args.verify_repair, points=points,
                      fault_profile=args.fault_profile,
                      fault_seed=args.fault_seed,
-                     synthesize=args.synthesize)
+                     synthesize=args.synthesize,
+                     monitor=args.monitor,
+                     fsck_jobs=args.fsck_jobs)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.format())
-    return 0 if report.clean else 1
+    return report.exit_status
 
 
 if __name__ == "__main__":

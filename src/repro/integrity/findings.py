@@ -67,6 +67,15 @@ class ExplorationReport:
     log_bytes: int = 0
     #: engine events processed by the recording run
     sim_events: int = 0
+    #: online ordering monitor state: "off", "online", or "unsupported"
+    #: (requested, but the scheme's crash state is not media-resident)
+    monitor: str = "off"
+    #: write windows the monitor observed during the recording run
+    monitor_windows: int = 0
+    #: OrderingViolation tuple raised at commit time
+    monitor_violations: tuple = ()
+    #: fsck pool width per crash image (pFSCK-style parallel scan)
+    fsck_jobs: int = 1
 
     # -- aggregation -----------------------------------------------------
     @property
@@ -100,6 +109,7 @@ class ExplorationReport:
             "record_wall_seconds": round(self.record_wall_seconds, 4),
             "verify_wall_seconds": round(self.verify_wall_seconds, 4),
             "log_bytes": self.log_bytes,
+            "fsck_jobs": self.fsck_jobs,
         }
 
     @property
@@ -129,6 +139,21 @@ class ExplorationReport:
         """The scheme honoured its declaration at every crash point."""
         return not self.unexpected_findings
 
+    @property
+    def monitor_unexpected(self) -> list:
+        """Online violations outside the scheme's declaration."""
+        return [v for v in self.monitor_violations if not v.expected]
+
+    @property
+    def exit_status(self) -> int:
+        """The CLI/CI contract: 0 only when BOTH verifiers came up clean.
+
+        Any crash finding outside the scheme's declaration, or any
+        unexpected online ordering violation, makes the sweep fail with
+        status 1 -- a breach is never reported through text alone.
+        """
+        return 0 if self.clean and not self.monitor_unexpected else 1
+
     # -- rendering -------------------------------------------------------
     def summary(self) -> str:
         violating = self.points_violating()
@@ -143,12 +168,19 @@ class ExplorationReport:
                         f"(full enumeration)")
         else:
             coverage = f"{self.points} crash points"
+        monitor = ""
+        if self.monitor == "online":
+            monitor = (f"; monitor: {len(self.monitor_violations)} online "
+                       f"violations ({len(self.monitor_unexpected)} "
+                       f"unexpected) over {self.monitor_windows} windows")
+        elif self.monitor == "unsupported":
+            monitor = "; monitor: unsupported (crash state off-media)"
         return (f"{self.scheme} x {self.workload} (seed {self.seed}, "
                 f"{self.mode}): {coverage}, "
                 f"{len(violating)} with invariant violations "
                 f"({len(self.corruption_points)} corruption-class), "
                 f"{len(self.unexpected_findings)} outside the scheme's "
-                f"declaration")
+                f"declaration{monitor}")
 
     def format(self, max_examples: int = 5) -> str:
         lines = [self.summary()]
@@ -187,9 +219,21 @@ class ExplorationReport:
             lines.append(f"    reproduce: --scheme {self.scheme} "
                          f"--workload {self.workload} --seed {self.seed}"
                          f"{fault} --point {finding.index}")
-        verdict = ("PASS: every crash state within the scheme's declaration"
-                   if self.clean else
-                   "FAIL: crash states outside the scheme's declaration")
+        if self.monitor == "online" and self.monitor_violations:
+            lines.append("")
+            lines.append(f"online ordering violations "
+                         f"({len(self.monitor_violations)}, "
+                         f"{len(self.monitor_unexpected)} unexpected):")
+            for violation in self.monitor_violations[:max_examples]:
+                lines.append(f"    {violation.format()}")
+        if self.exit_status == 0:
+            verdict = ("PASS: every crash state within the scheme's "
+                       "declaration")
+        elif self.clean:
+            verdict = ("FAIL: online ordering violations outside the "
+                       "scheme's declaration")
+        else:
+            verdict = "FAIL: crash states outside the scheme's declaration"
         lines += ["", verdict]
         return "\n".join(lines)
 
@@ -214,6 +258,15 @@ class ExplorationReport:
             "quiesce_time": self.quiesce_time,
             "violation_counts": dict(self.violation_counts),
             "clean": self.clean,
+            "exit_status": self.exit_status,
+            "fsck_jobs": self.fsck_jobs,
+            "monitor": self.monitor,
+            "monitor_windows": self.monitor_windows,
+            "monitor_violations": [
+                {"rule": v.rule, "message": v.message, "when": v.when,
+                 "lbn": v.lbn, "nsectors": v.nsectors,
+                 "expected": v.expected}
+                for v in self.monitor_violations],
             "findings": [
                 {
                     "index": f.index,

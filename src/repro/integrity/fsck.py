@@ -23,12 +23,26 @@ mechanically, the paper's schemes deliberately allow them):
 * allocated-but-unreferenced inodes or fragments (leaks),
 * bitmap says free but the fragment/inode is referenced (fsck re-marks it),
 * bitmap says used but nothing references it.
+
+Parallel mode (pFSCK-style, arxiv 2004.05524): ``fsck(image, jobs=N)`` fans
+the per-cylinder-group scans -- inode pointer walks, directory parsing, and
+bitmap audits -- over a ``multiprocessing`` pool.  Each phase is split into
+a *pure* per-inode pass that reads only the image (safe to run anywhere)
+and a *replay* pass that folds the resulting op-stream into the global
+claim table and reference map in ascending inode order.  Because the
+replay is identical whether the streams were produced inline (serial) or
+by workers (parallel), the two modes return byte-identical finding lists
+-- same messages, same order.  Workers inherit the image copy-on-write
+through the fork context; only op-streams cross the pipe.
 """
 
 from __future__ import annotations
 
+import gc
+import multiprocessing
 import struct
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.disk.storage import SectorStore
 from repro.fs import directory
@@ -57,7 +71,237 @@ class FsckReport:
                 f"warnings, {len(self.inodes)} inodes")
 
 
+# ----------------------------------------------------------------------
+# pure per-inode scans: read the image, emit op-streams
+#
+# These know nothing about other inodes, so they parallelize freely; all
+# cross-inode judgement (double claims, unallocated targets) happens when
+# the streams are replayed, in ascending inode order, against the global
+# tables.  The monitor (repro.integrity.monitor) reuses them so its claim
+# semantics match fsck's exactly.
+# ----------------------------------------------------------------------
+def read_image_frags(image: SectorStore, geo: FSGeometry,
+                     daddr: int, frags: int) -> bytes:
+    spf = geo.frag_size // image.geometry.sector_size
+    return image.read(daddr * spf, frags * spf)
+
+
+def read_image_inode(image: SectorStore, geo: FSGeometry,
+                     ino: int) -> Dinode:
+    block = read_image_frags(image, geo, geo.inode_block_daddr(ino),
+                             geo.frags_per_block)
+    at = geo.inode_offset_in_block(ino)
+    return Dinode.unpack(block[at:at + 128])
+
+
+def scan_cg_inodes(image: SectorStore, geo: FSGeometry,
+                   cg: int) -> list[tuple[int, Dinode]]:
+    """All allocated dinodes of one cylinder group, ascending.
+
+    Reads each inode-table block once (not once per inode slot) -- the
+    dinodes and their order are exactly what a per-slot walk produces, so
+    replaying the result is byte-identical to the slot-by-slot scan.
+    """
+    table = geo.cg_inode_table(cg)
+    per_block = geo.inodes_per_block
+    out: list[tuple[int, Dinode]] = []
+    for block_index in range(geo.inode_blocks_per_cg):
+        raw = read_image_frags(image, geo,
+                               table + block_index * geo.frags_per_block,
+                               geo.frags_per_block)
+        base = cg * geo.ipg + block_index * per_block
+        for slot in range(per_block):
+            ino = base + slot
+            if ino < ROOT_INO:
+                continue  # burned inodes
+            din = Dinode.unpack(raw[slot * 128:(slot + 1) * 128])
+            if din.allocated:
+                out.append((ino, din))
+    return out
+
+
+class _FlatImage:
+    """Contiguous read-only copy of a SectorStore's file-system span.
+
+    A SectorStore is a sparse dict of one ``bytes`` object per sector;
+    forking a pool over a large image makes every worker's first pass
+    copy-on-write the whole object heap just by touching refcounts.  The
+    flat copy is a single buffer: workers share it via fork (or one
+    pickle on spawn platforms) and reads are plain slices.
+    """
+
+    __slots__ = ("geometry", "_buf")
+
+    def __init__(self, store: SectorStore, total_sectors: int) -> None:
+        self.geometry = store.geometry
+        size = store.geometry.sector_size
+        buf = bytearray(total_sectors * size)
+        for lbn, data in store._sectors.items():
+            if lbn < total_sectors:
+                buf[lbn * size:(lbn + 1) * size] = data
+        self._buf = bytes(buf)
+
+    def read(self, lbn: int, nsectors: int = 1) -> bytes:
+        size = self.geometry.sector_size
+        return self._buf[lbn * size:(lbn + nsectors) * size]
+
+
+def valid_data_frag(geo: FSGeometry, daddr: int) -> bool:
+    try:
+        geo.data_index(daddr)
+        return True
+    except ValueError:
+        return False
+
+
+def block_frags(geo: FSGeometry, din: Dinode, lblk: int) -> int:
+    """Fragments held by logical block *lblk* (tail blocks may be short)."""
+    if din.ftype is FileType.DIRECTORY:
+        return geo.frags_per_block
+    size = din.size
+    last = (size - 1) // geo.block_size if size else 0
+    if (lblk < last or lblk >= geo.NDADDR
+            or size > geo.NDADDR * geo.block_size):
+        return geo.frags_per_block
+    tail = size - lblk * geo.block_size
+    return max(1, (tail + geo.frag_size - 1) // geo.frag_size)
+
+
+def inode_claim_ops(image: SectorStore, geo: FSGeometry, ino: int,
+                    din: Dinode) -> list[tuple]:
+    """Phase-1 op-stream for one inode: ``("frag", daddr)`` claims (in the
+    exact order the serial walk visits them) and ``("error", msg)`` for
+    pointers that leave the data area."""
+    ops: list[tuple] = []
+
+    def claim(daddr: int, frags: int) -> None:
+        for fragment in range(daddr, daddr + frags):
+            if not valid_data_frag(geo, fragment):
+                ops.append(("error",
+                            f"inode {ino} points outside the data area "
+                            f"(daddr {fragment})"))
+                return
+            ops.append(("frag", fragment))
+
+    def claim_indirect(daddr: int, depth: int) -> None:
+        if not valid_data_frag(geo, daddr):
+            ops.append(("error",
+                        f"inode {ino} indirect pointer outside data area "
+                        f"({daddr})"))
+            return
+        claim(daddr, geo.frags_per_block)
+        raw = read_image_frags(image, geo, daddr, geo.frags_per_block)
+        for pointer in struct.unpack(f"<{geo.nindir}I", raw):
+            if not pointer:
+                continue
+            if depth > 1:
+                claim_indirect(pointer, depth - 1)
+            else:
+                claim(pointer, geo.frags_per_block)
+
+    blocks = (din.size + geo.block_size - 1) // geo.block_size
+    for lblk in range(min(blocks, geo.NDADDR)):
+        daddr = din.direct[lblk]
+        if daddr:
+            claim(daddr, block_frags(geo, din, lblk))
+    if din.sindirect:
+        claim_indirect(din.sindirect, depth=1)
+    if din.dindirect:
+        claim_indirect(din.dindirect, depth=2)
+    return ops
+
+
+def directory_events(image: SectorStore, geo: FSGeometry, ino: int,
+                     din: Dinode) -> list[tuple]:
+    """Phase-2 event-stream for one directory: structural ``("error", msg)``
+    findings plus ``("ref", target, name)`` for every live entry (replayed
+    against the global inode table by :meth:`_Checker.note_reference`)."""
+    events: list[tuple] = []
+    seen_dot = seen_dotdot = False
+    blocks = (din.size + geo.block_size - 1) // geo.block_size
+    for lblk in range(min(blocks, geo.NDADDR)):
+        daddr = din.direct[lblk]
+        if not daddr:
+            events.append(("error",
+                           f"directory {ino} has a hole at block {lblk}"))
+            continue
+        if not valid_data_frag(geo, daddr):
+            continue  # already reported by the claim walk
+        raw = read_image_frags(image, geo, daddr, geo.frags_per_block)
+        try:
+            entries = list(directory.iter_entries(raw))
+        except directory.CorruptDirectory as exc:
+            events.append(("error",
+                           f"directory {ino} block {lblk} corrupt: {exc}"))
+            continue
+        for entry in entries:
+            if not entry.live:
+                continue
+            if entry.name == ".":
+                seen_dot = True
+                if entry.ino != ino:
+                    events.append(("error",
+                                   f"directory {ino}: '.' points to "
+                                   f"{entry.ino}"))
+                continue
+            if entry.name == "..":
+                seen_dotdot = True
+                events.append(("ref", entry.ino, ".."))
+                continue
+            events.append(("ref", entry.ino, entry.name))
+    if din.size and not (seen_dot and seen_dotdot):
+        events.append(("error", f"directory {ino} missing '.' or '..'"))
+    return events
+
+
+def cg_bitmap_findings(image: SectorStore, geo: FSGeometry, cg: int,
+                       claims: dict[int, int],
+                       allocated) -> list[tuple[str, str]]:
+    """Phase-4 findings for one cylinder group: ``(kind, msg)`` tuples,
+    kind ``"error"`` or ``"warning"``.  *claims* maps fragment daddr ->
+    owning ino (may be restricted to this group's range); *allocated* is a
+    container answering ``ino in allocated``."""
+    findings: list[tuple[str, str]] = []
+    raw = bytearray(read_image_frags(image, geo, geo.cg_base(cg),
+                                     geo.frags_per_block))
+    view = CgView(raw, geo)
+    if view.magic != CG_MAGIC:
+        findings.append(("error", f"cylinder group {cg} bad magic"))
+        return findings
+    base = geo.cg_data_start(cg)
+    for index in range(geo.dfrags_per_cg):
+        daddr = base + index
+        used = view.frag_used(index)
+        claimed = daddr in claims
+        if claimed and not used:
+            findings.append(("warning",
+                             f"fragment {daddr} in use by inode "
+                             f"{claims[daddr]} but marked free "
+                             f"(fsck repairs)"))
+        elif used and not claimed:
+            findings.append(("warning",
+                             f"fragment {daddr} marked used but "
+                             f"unreferenced (leak)"))
+    for index in range(geo.ipg):
+        ino = cg * geo.ipg + index
+        if ino < ROOT_INO:
+            continue
+        used = view.inode_used(index)
+        is_alloc = ino in allocated
+        if is_alloc and not used:
+            findings.append(("warning",
+                             f"inode {ino} allocated but bitmap says free "
+                             f"(fsck repairs)"))
+        elif used and not is_alloc and ino != ROOT_INO:
+            findings.append(("warning",
+                             f"inode {ino} bitmap used but dinode free "
+                             f"(leak)"))
+    return findings
+
+
 class _Checker:
+    """Replays op-streams into the global report (the serial core)."""
+
     def __init__(self, image: SectorStore, geometry: FSGeometry) -> None:
         self.image = image
         self.geo = geometry
@@ -66,55 +310,26 @@ class _Checker:
 
     # -- raw readers ------------------------------------------------------
     def read_frags(self, daddr: int, frags: int) -> bytes:
-        spf = self.geo.frag_size // self.image.geometry.sector_size
-        return self.image.read(daddr * spf, frags * spf)
+        return read_image_frags(self.image, self.geo, daddr, frags)
 
     def read_inode(self, ino: int) -> Dinode:
-        block = self.read_frags(self.geo.inode_block_daddr(ino),
-                                self.geo.frags_per_block)
-        at = self.geo.inode_offset_in_block(ino)
-        return Dinode.unpack(block[at:at + 128])
+        return read_image_inode(self.image, self.geo, ino)
 
     # -- phase 1: inodes and block claims ------------------------------------
     def scan_inodes(self) -> None:
-        for ino in range(self.geo.total_inodes):
-            din = self.read_inode(ino)
-            if not din.allocated:
+        for cg in range(self.geo.ncg):
+            for ino, din in scan_cg_inodes(self.image, self.geo, cg):
+                self.report.inodes[ino] = din
+                self.apply_claim_ops(
+                    ino, inode_claim_ops(self.image, self.geo, ino, din))
+
+    def apply_claim_ops(self, ino: int, ops: list[tuple]) -> None:
+        """Fold one inode's claim stream into the global claim table."""
+        for op in ops:
+            if op[0] == "error":
+                self.report.errors.append(op[1])
                 continue
-            if ino < ROOT_INO:
-                continue  # burned inodes
-            self.report.inodes[ino] = din
-            self.check_pointers(ino, din)
-
-    def check_pointers(self, ino: int, din: Dinode) -> None:
-        blocks = (din.size + self.geo.block_size - 1) // self.geo.block_size
-        for lblk in range(min(blocks, self.geo.NDADDR)):
-            daddr = din.direct[lblk]
-            if daddr:
-                self.claim(ino, daddr, self.block_frags(din, lblk))
-        if din.sindirect:
-            self.claim_indirect(ino, din.sindirect, depth=1)
-        if din.dindirect:
-            self.claim_indirect(ino, din.dindirect, depth=2)
-
-    def block_frags(self, din: Dinode, lblk: int) -> int:
-        if din.ftype is FileType.DIRECTORY:
-            return self.geo.frags_per_block
-        size = din.size
-        last = (size - 1) // self.geo.block_size if size else 0
-        if (lblk < last or lblk >= self.geo.NDADDR
-                or size > self.geo.NDADDR * self.geo.block_size):
-            return self.geo.frags_per_block
-        tail = size - lblk * self.geo.block_size
-        return max(1, (tail + self.geo.frag_size - 1) // self.geo.frag_size)
-
-    def claim(self, ino: int, daddr: int, frags: int) -> None:
-        for fragment in range(daddr, daddr + frags):
-            if not self.valid_data_frag(fragment):
-                self.report.errors.append(
-                    f"inode {ino} points outside the data area "
-                    f"(daddr {fragment})")
-                return
+            fragment = op[1]
             owner = self.claims.get(fragment)
             if owner is not None and owner != ino:
                 self.report.errors.append(
@@ -123,75 +338,22 @@ class _Checker:
             else:
                 self.claims[fragment] = ino
 
-    def claim_indirect(self, ino: int, daddr: int, depth: int) -> None:
-        if not self.valid_data_frag(daddr):
-            self.report.errors.append(
-                f"inode {ino} indirect pointer outside data area ({daddr})")
-            return
-        self.claim(ino, daddr, self.geo.frags_per_block)
-        raw = self.read_frags(daddr, self.geo.frags_per_block)
-        for pointer in struct.unpack(f"<{self.geo.nindir}I", raw):
-            if not pointer:
-                continue
-            if depth > 1:
-                self.claim_indirect(ino, pointer, depth - 1)
-            else:
-                self.claim(ino, pointer, self.geo.frags_per_block)
-
-    def valid_data_frag(self, daddr: int) -> bool:
-        try:
-            self.geo.data_index(daddr)
-            return True
-        except ValueError:
-            return False
-
     # -- phase 2: directory structure ----------------------------------------
     def scan_directories(self) -> None:
         for ino, din in self.report.inodes.items():
             if din.ftype is not FileType.DIRECTORY:
                 continue
-            self.check_directory(ino, din)
+            self.apply_directory_events(
+                ino, directory_events(self.image, self.geo, ino, din))
 
-    def check_directory(self, ino: int, din: Dinode) -> None:
-        seen_dot = seen_dotdot = False
-        blocks = (din.size + self.geo.block_size - 1) // self.geo.block_size
-        for lblk in range(min(blocks, self.geo.NDADDR)):
-            daddr = din.direct[lblk]
-            if not daddr:
-                self.report.errors.append(
-                    f"directory {ino} has a hole at block {lblk}")
-                continue
-            if not self.valid_data_frag(daddr):
-                continue  # already reported by claim()
-            raw = self.read_frags(daddr, self.geo.frags_per_block)
-            try:
-                entries = list(directory.iter_entries(raw))
-            except directory.CorruptDirectory as exc:
-                self.report.errors.append(
-                    f"directory {ino} block {lblk} corrupt: {exc}")
-                continue
-            for entry in entries:
-                if not entry.live:
-                    continue
-                if entry.name == ".":
-                    seen_dot = True
-                    if entry.ino != ino:
-                        self.report.errors.append(
-                            f"directory {ino}: '.' points to {entry.ino}")
-                    continue
-                if entry.name == "..":
-                    seen_dotdot = True
-                    self.note_reference(entry.ino, ino, "..",
-                                        count_link=True)
-                    continue
-                self.note_reference(entry.ino, ino, entry.name,
-                                    count_link=True)
-        if din.size and not (seen_dot and seen_dotdot):
-            self.report.errors.append(
-                f"directory {ino} missing '.' or '..'")
+    def apply_directory_events(self, ino: int, events: list[tuple]) -> None:
+        for event in events:
+            if event[0] == "error":
+                self.report.errors.append(event[1])
+            else:
+                self.note_reference(event[1], ino, event[2])
 
-    def note_reference(self, target: int, dir_ino: int, name: str,
-                       count_link: bool) -> None:
+    def note_reference(self, target: int, dir_ino: int, name: str) -> None:
         if not (0 <= target < self.geo.total_inodes):
             self.report.errors.append(
                 f"directory {dir_ino} entry {name!r} points to out-of-range "
@@ -227,43 +389,120 @@ class _Checker:
     # -- phase 4: bitmaps -------------------------------------------------------
     def check_bitmaps(self) -> None:
         for cg in range(self.geo.ncg):
-            raw = bytearray(self.read_frags(self.geo.cg_base(cg),
-                                            self.geo.frags_per_block))
-            view = CgView(raw, self.geo)
-            if view.magic != CG_MAGIC:
-                self.report.errors.append(f"cylinder group {cg} bad magic")
-                continue
-            self.check_frag_bitmap(cg, view)
-            self.check_inode_bitmap(cg, view)
+            self.apply_bitmap_findings(cg_bitmap_findings(
+                self.image, self.geo, cg, self.claims, self.report.inodes))
 
-    def check_frag_bitmap(self, cg: int, view: CgView) -> None:
-        base = self.geo.cg_data_start(cg)
-        for index in range(self.geo.dfrags_per_cg):
-            daddr = base + index
-            used = view.frag_used(index)
-            claimed = daddr in self.claims
-            if claimed and not used:
-                self.report.warnings.append(
-                    f"fragment {daddr} in use by inode {self.claims[daddr]} "
-                    f"but marked free (fsck repairs)")
-            elif used and not claimed:
-                self.report.warnings.append(
-                    f"fragment {daddr} marked used but unreferenced (leak)")
+    def apply_bitmap_findings(self,
+                              findings: list[tuple[str, str]]) -> None:
+        for kind, msg in findings:
+            (self.report.errors if kind == "error"
+             else self.report.warnings).append(msg)
 
-    def check_inode_bitmap(self, cg: int, view: CgView) -> None:
-        for index in range(self.geo.ipg):
-            ino = cg * self.geo.ipg + index
-            if ino < ROOT_INO:
-                continue
-            used = view.inode_used(index)
-            allocated = ino in self.report.inodes
-            if allocated and not used:
-                self.report.warnings.append(
-                    f"inode {ino} allocated but bitmap says free "
-                    f"(fsck repairs)")
-            elif used and not allocated and ino != ROOT_INO:
-                self.report.warnings.append(
-                    f"inode {ino} bitmap used but dinode free (leak)")
+
+# ----------------------------------------------------------------------
+# parallel scan workers (pFSCK-style per-cylinder-group fan-out)
+# ----------------------------------------------------------------------
+@dataclass
+class _FsckContext:
+    """Read-only state for scan workers.
+
+    Installed as a module-level global before the pool forks so children
+    inherit the image copy-on-write; pickled once per worker (via the pool
+    initializer) only on platforms without ``fork``.
+    """
+
+    image: SectorStore
+    geo: FSGeometry
+
+
+_FSCK_CONTEXT: Optional[_FsckContext] = None
+
+
+def _fsck_init(context: Optional[_FsckContext] = None) -> None:
+    global _FSCK_CONTEXT
+    if context is not None:
+        _FSCK_CONTEXT = context
+    # the worker inherited (or was handed) a large object graph it will
+    # only ever read; freezing it keeps the cycle collector from touching
+    # refcounts across the copy-on-write heap and dirtying every page
+    gc.freeze()
+
+
+def _scan_cg(cg: int):
+    """Pure scans for one cylinder group: allocated dinodes, their claim
+    streams, and directory event streams -- all in ascending inode order."""
+    ctx = _FSCK_CONTEXT
+    inodes: list[tuple[int, Dinode]] = scan_cg_inodes(ctx.image, ctx.geo, cg)
+    claim_ops: list[list[tuple]] = [
+        inode_claim_ops(ctx.image, ctx.geo, ino, din)
+        for ino, din in inodes]
+    dir_events: list[tuple[int, list[tuple]]] = []
+    for ino, din in inodes:
+        if din.ftype is FileType.DIRECTORY:
+            dir_events.append(
+                (ino, directory_events(ctx.image, ctx.geo, ino, din)))
+    return inodes, claim_ops, dir_events
+
+
+def _scan_cg_bitmaps(payload):
+    """Bitmap audit for one cylinder group against the merged claims."""
+    cg, claims, allocated = payload
+    ctx = _FSCK_CONTEXT
+    return cg_bitmap_findings(ctx.image, ctx.geo, cg, claims, allocated)
+
+
+def _fsck_parallel(image: SectorStore, geo: FSGeometry,
+                   jobs: int) -> FsckReport:
+    """Fan the per-cg scans over a pool, then merge serially.
+
+    The merge replays every op-stream in ascending inode order, so the
+    report is byte-identical to the serial checker's.
+    """
+    global _FSCK_CONTEXT
+    spf = geo.frag_size // image.geometry.sector_size
+    flat = _FlatImage(image, geo.total_frags * spf)
+    context = _FsckContext(image=flat, geo=geo)
+    methods = multiprocessing.get_all_start_methods()
+    previous, _FSCK_CONTEXT = _FSCK_CONTEXT, context
+    try:
+        if "fork" in methods:
+            pool_ctx = multiprocessing.get_context("fork")
+            pool_kwargs = {"initializer": _fsck_init}
+        else:
+            pool_ctx = multiprocessing.get_context(None)
+            pool_kwargs = {"initializer": _fsck_init, "initargs": (context,)}
+        with pool_ctx.Pool(min(jobs, geo.ncg), **pool_kwargs) as pool:
+            scans = pool.map(_scan_cg, range(geo.ncg), chunksize=1)
+            checker = _Checker(image, geo)
+            # phase 1: replay claim streams in global inode order
+            for inodes, claim_ops, _events in scans:
+                for (ino, din), ops in zip(inodes, claim_ops):
+                    checker.report.inodes[ino] = din
+                    checker.apply_claim_ops(ino, ops)
+            if ROOT_INO not in checker.report.inodes:
+                checker.report.errors.append("root inode missing")
+                return checker.report
+            # phase 2: replay directory events in global inode order
+            for _inodes, _ops, events in scans:
+                for ino, stream in events:
+                    checker.apply_directory_events(ino, stream)
+            # phase 3 is a pure reduction over the merged maps
+            checker.check_links()
+            # phase 4: fan back out with the merged claims, split per cg
+            claims_by_cg: list[dict[int, int]] = [{} for _ in range(geo.ncg)]
+            for daddr, owner in checker.claims.items():
+                claims_by_cg[geo.cg_of_daddr(daddr)][daddr] = owner
+            inos_by_cg: list[set] = [set() for _ in range(geo.ncg)]
+            for ino in checker.report.inodes:
+                inos_by_cg[geo.cg_of_inode(ino)].add(ino)
+            payloads = [(cg, claims_by_cg[cg], inos_by_cg[cg])
+                        for cg in range(geo.ncg)]
+            for findings in pool.map(_scan_cg_bitmaps, payloads,
+                                     chunksize=1):
+                checker.apply_bitmap_findings(findings)
+    finally:
+        _FSCK_CONTEXT = previous
+    return checker.report
 
 
 def repair(image: SectorStore,
@@ -357,9 +596,16 @@ def repair(image: SectorStore,
     return fsck(image, geometry)
 
 
-def fsck(image: SectorStore,
-         geometry: FSGeometry | None = None) -> FsckReport:
-    """Audit *image*; returns the :class:`FsckReport`."""
+def fsck(image: SectorStore, geometry: FSGeometry | None = None,
+         jobs: int = 1) -> FsckReport:
+    """Audit *image*; returns the :class:`FsckReport`.
+
+    ``jobs > 1`` fans the per-cylinder-group scans over a process pool
+    (pFSCK-style); the finding lists are byte-identical to the serial
+    audit's.  Note pool workers are daemonic, so ``jobs > 1`` cannot be
+    used from inside another ``multiprocessing`` worker (e.g. the
+    explorer's verification pool).
+    """
     geometry = geometry or FSGeometry()
     spf = geometry.frag_size // image.geometry.sector_size
     try:
@@ -369,7 +615,10 @@ def fsck(image: SectorStore,
         report = FsckReport()
         report.errors.append(f"superblock unreadable: {exc}")
         return report
-    checker = _Checker(image, superblock.geometry)
+    geo = superblock.geometry
+    if jobs > 1 and geo.ncg > 1:
+        return _fsck_parallel(image, geo, jobs)
+    checker = _Checker(image, geo)
     checker.scan_inodes()
     if ROOT_INO not in checker.report.inodes:
         checker.report.errors.append("root inode missing")

@@ -52,6 +52,137 @@ def churn_workload(machine: Machine, seed: int = 0,
             live_files.append(new)
 
 
+def remove_churn(machine: Machine, seed: int = 0,
+                 files: int = 12) -> Generator:
+    """Create durable files, then remove them and reuse their fragments.
+
+    The ``sync()`` between phases pins every entry, inode, and data block
+    to the media first, so the remove phase's ordering (rule 1: entry
+    cleared before the inode frees; rule 2: pointers nullified before the
+    fragments are reused) acts on *durable* state -- the window where
+    breaking either rule corrupts the image, rather than merely leaking
+    an orphan that never hit the platters.
+
+    The reusers (``g*``) are created *before* the removes and therefore
+    hold distinct, already-durable inode slots; after each unlink the
+    freed fragments are written into the matching reuser and ``fsync``
+    forces its claim to the platters at once.  Under a scheme that delays
+    the old owner's pointer reset (rule 2 broken), the media now shows two
+    inodes claiming the same fragments -- the breach is on disk the
+    instant the fsync completes, which is what makes this the mutation-
+    test workload for the rule-breaking shim schemes.
+    """
+    rng = random.Random(seed)
+    payload = bytes([seed % 251 or 1]) * 6 * 1024
+    yield from machine.fs.mkdir("/rm")
+    names = [f"/rm/f{index}" for index in range(files)]
+    for name in names:
+        yield from machine.fs.write_file(name, payload)
+    growers = [f"/rm/g{index}" for index in range(files)]
+    for name in growers:
+        handle = yield from machine.fs.create(name)
+        yield from machine.fs.close(handle)
+    yield from machine.fs.sync()
+    order = list(range(files))
+    rng.shuffle(order)
+    for index in order:
+        yield from machine.fs.unlink(names[index])
+        # reuse the freed fragments under a different, durable inode and
+        # force the new claim out immediately
+        handle = yield from machine.fs.open(growers[index])
+        yield from machine.fs.write(handle, payload)
+        yield from machine.fs.fsync(handle)
+        yield from machine.fs.close(handle)
+    yield from machine.fs.sync()
+
+
+def reuse_churn(machine: Machine, seed: int = 0,
+                files: int = 12) -> Generator:
+    """Force cross-inode fragment reuse: the rule-2 torture workload.
+
+    Rule 2 ("never reuse a resource before nullifying all previous
+    pointers") only corrupts the media when a *different* inode's claim to
+    a freed fragment lands while the old owner's on-disk pointers still
+    stand.  Two things normally hide that window in this simulator: the
+    allocator's rotor hands out fresh fragments while any remain (freed
+    runs are only rediscovered after a wrap), and files created in the
+    same directory share a 64-inode block, so one inode-block write
+    carries both the old owner's clear and the new owner's claim.
+
+    This workload defeats both, deterministically:
+
+    1. victims (``/a/f*``, one 6-fragment run each) land in directory
+       ``/a``'s cylinder group; ballast then fills that group's fresh
+       space exactly (the per-victim 2-fragment tail holes cannot host a
+       6-run),
+    2. the reusers (``/b/g*``) live in directory ``/b`` -- placed in the
+       *other* cylinder group by the least-loaded directory policy -- so
+       their inode blocks are disjoint from the victims'; ballast fills
+       that group completely,
+    3. each unlinked victim's run is then the only allocatable 6-run in
+       the file system, so the matching reuser's write *must* take it,
+       and the ``fsync`` forces the new claim to the platters while a
+       rule-2-breaking scheme still holds the old owner's clear dirty.
+
+    Schemes that defer frees (soft updates) get a drain barrier after
+    each unlink (``pending_work()``), otherwise the deferred free would
+    starve the reuser's allocation; eager schemes -- including the
+    rule-breaking shims -- take no barrier, keeping the breach window
+    open.  Assumes a multi-cg geometry (the explorer testbed's 2 x 2 MB).
+    """
+    fs = machine.fs
+    geo = fs.geometry
+    alloc = fs.allocator
+    fpb = geo.frags_per_block
+    payload_frags = 6
+    payload = bytes([seed % 251 or 1]) * payload_frags * geo.frag_size
+    block = bytes([(seed + 1) % 251 or 1]) * geo.block_size
+
+    yield from fs.mkdir("/a")
+    ip = yield from fs.namei("/a")
+    cg_a = geo.cg_of_inode(ip.ino)
+    fs.iput(ip)
+    names = [f"/a/f{index}" for index in range(files)]
+    for name in names:
+        yield from fs.write_file(name, payload)
+    # fill cg_a's remaining fresh space; each victim left a 2-frag hole
+    # at its block tail, which no 6-run can occupy
+    holes = files * (fpb - payload_frags)
+    handle = yield from fs.create("/a/ballast")
+    while alloc.cg_free_frags[cg_a] - holes >= fpb:
+        yield from fs.write(handle, block)
+    yield from fs.close(handle)
+
+    yield from fs.mkdir("/b")
+    ip = yield from fs.namei("/b")
+    cg_b = geo.cg_of_inode(ip.ino)
+    fs.iput(ip)
+    growers = [f"/b/g{index}" for index in range(files)]
+    for name in growers:
+        handle = yield from fs.create(name)
+        yield from fs.close(handle)
+    handle = yield from fs.create("/b/ballast")
+    while alloc.cg_free_frags[cg_b] >= fpb:
+        yield from fs.write(handle, block)
+    yield from fs.close(handle)
+    yield from fs.sync()
+
+    rng = random.Random(seed)
+    order = list(range(files))
+    rng.shuffle(order)
+    for index in order:
+        yield from fs.unlink(names[index])
+        if fs.scheme.pending_work():
+            # deferred-free schemes must complete the free before the
+            # reuser can allocate; eager schemes keep the window open
+            yield from fs.sync()
+        handle = yield from fs.open(growers[index])
+        yield from fs.write(handle, payload)
+        yield from fs.fsync(handle)
+        yield from fs.close(handle)
+    yield from fs.sync()
+
+
 def microbench_churn(machine: Machine, seed: int = 0,
                      files: int = 24) -> Generator:
     """Figure-5-shaped churn: create 1 KB files, then remove a slice.

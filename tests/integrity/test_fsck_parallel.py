@@ -1,0 +1,135 @@
+"""Parallel fsck: byte-identical to serial, on clean AND damaged images.
+
+The pFSCK-style fan-out (per-cylinder-group scans over a fork pool, serial
+replay merge) must be invisible in the output: every error string, every
+warning string, every inode and reference, in the same order, no matter
+the pool width.  The merge replays op-streams in ascending inode order to
+make that true -- these tests hold it to the letter, including on images
+deliberately damaged mid-flight (synthesized crash states of ``noorder``,
+where the interesting findings live).
+"""
+
+import importlib
+
+import pytest
+
+from repro.fs.layout import FSGeometry
+from repro.harness.recording import record_run
+from repro.integrity import fsck
+from repro.integrity.explorer import (
+    EXPLORER_GEOMETRY,
+    build_machine,
+    build_workload,
+    explore,
+)
+from repro.integrity.medialog import ImageSynthesizer
+from tests.conftest import make_machine, run_user
+
+
+def report_key(report):
+    """Every observable finding of one audit, order included."""
+    return (tuple(report.errors), tuple(report.warnings),
+            tuple((ino, din.pack()) for ino, din in report.inodes.items()),
+            tuple((ino, tuple(refs))
+                  for ino, refs in report.references.items()))
+
+
+def populated_machine(scheme="conventional"):
+    m = make_machine(scheme, geometry=EXPLORER_GEOMETRY)
+
+    def setup():
+        for d in range(3):
+            yield from m.fs.mkdir(f"/d{d}")
+            for f in range(8):
+                yield from m.fs.write_file(f"/d{d}/f{f}",
+                                           bytes([f]) * (1024 * (1 + f % 4)))
+        yield from m.fs.link("/d0/f0", "/d1/hard")
+        yield from m.fs.unlink("/d2/f3")
+        yield from m.fs.sync()
+
+    run_user(m, setup())
+    return m
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("jobs", [2, 4, 8])
+    def test_clean_image_identical(self, jobs):
+        m = populated_machine()
+        serial = fsck(m.disk.storage, EXPLORER_GEOMETRY)
+        parallel = fsck(m.disk.storage, EXPLORER_GEOMETRY, jobs=jobs)
+        assert serial.clean and not serial.warnings
+        assert report_key(parallel) == report_key(serial)
+
+    def test_crash_damaged_images_identical(self):
+        # noorder's mid-flight crash states carry the dirty findings
+        # (dangling entries, orphans, bitmap drift); the pools must agree
+        # on every one of them
+        machine = build_machine("noorder")
+        recorded = record_run(
+            machine, build_workload(machine, "microbench", 0, 16),
+            capture_media=True)
+        synth = ImageSynthesizer(recorded.base_image, recorded.media_log)
+        instants = [w.complete_time for w in recorded.windows[::4]]
+        dirty = 0
+        for when in instants:
+            image = synth.image_at(when)
+            serial = fsck(image, EXPLORER_GEOMETRY)
+            parallel = fsck(image, EXPLORER_GEOMETRY, jobs=4)
+            assert report_key(parallel) == report_key(serial), when
+            dirty += 0 if (serial.clean and not serial.warnings) else 1
+        assert dirty > 0, "the sweep must include genuinely dirty images"
+
+    def test_single_cg_geometry_falls_back_to_serial(self):
+        geo = FSGeometry(ipg=256, dfrags_per_cg=2048, ncg=1)
+        m = make_machine("conventional", geometry=geo)
+
+        def setup():
+            yield from m.fs.write_file("/f", b"x" * 5000)
+            yield from m.fs.sync()
+
+        run_user(m, setup())
+        serial = fsck(m.disk.storage, geo)
+        parallel = fsck(m.disk.storage, geo, jobs=4)
+        assert serial.clean
+        assert report_key(parallel) == report_key(serial)
+
+    def test_garbage_superblock_short_circuits(self):
+        m = populated_machine()
+        m.disk.storage.write(EXPLORER_GEOMETRY.superblock_daddr * 2,
+                             b"\x00" * 512)
+        report = fsck(m.disk.storage, EXPLORER_GEOMETRY, jobs=4)
+        assert not report.clean
+        assert "superblock" in report.errors[0]
+
+
+class TestFlatImage:
+    def test_reads_match_sector_store(self):
+        m = populated_machine()
+        store = m.disk.storage
+        geo = EXPLORER_GEOMETRY
+        spf = geo.frag_size // store.geometry.sector_size
+        total = geo.total_frags * spf
+        fsck_mod = importlib.import_module("repro.integrity.fsck")
+        flat = fsck_mod._FlatImage(store, total)
+        assert flat.geometry.sector_size == store.geometry.sector_size
+        for lbn in range(0, total, 7):
+            nsectors = min(spf, total - lbn)
+            assert flat.read(lbn, nsectors) == store.read(lbn, nsectors)
+
+
+class TestExplorerWiring:
+    def test_fsck_jobs_do_not_change_findings(self):
+        serial = explore("noorder", "microbench", seed=0, jobs=1,
+                         max_points=8, fsck_jobs=1)
+        pooled = explore("noorder", "microbench", seed=0, jobs=1,
+                         max_points=8, fsck_jobs=2)
+        assert pooled.fsck_jobs == 2
+        assert pooled.findings == serial.findings
+
+    def test_fsck_jobs_suppressed_under_a_parallel_sweep(self):
+        # daemonic pool workers cannot fork their own pools; the explorer
+        # must fall back to serial fsck rather than crash
+        report = explore("conventional", "microbench", seed=0, jobs=2,
+                         max_points=8, fsck_jobs=4)
+        assert report.fsck_jobs == 1
+        assert report.clean

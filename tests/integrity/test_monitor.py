@@ -1,0 +1,176 @@
+"""The online ordering monitor: observer-effect-free, chainable, correct.
+
+Three contracts:
+
+1. **Zero simulation impact** (the ``tests/obs/test_equivalence.py``
+   discipline): a monitored recording run and a bare one are the *same
+   simulation* -- identical write windows, event counts, quiescence time,
+   and driver trace, byte for byte.  The monitor only reads commit
+   payloads and mutates its own shadow image.
+2. **Chaining**: ``attach`` composes with an already-installed
+   ``on_write_commit`` observer (the media write-log) instead of
+   displacing it, and ``detach`` restores it.
+3. **Controls**: ``noorder`` -- which declares no ordering -- must
+   produce rule hits (the negative control proves the monitor is not
+   vacuously silent), all *within* its declaration; the five guaranteed
+   schemes stay violation-free across seeds; NVRAM is refused (its crash
+   state is not media-resident, so a media-stream monitor would lie).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.harness.recording import record_run
+from repro.integrity.explorer import build_machine, build_workload, explore
+from repro.integrity.medialog import MediaLog
+from repro.integrity.monitor import OrderingMonitor, monitor_supported
+from tests.conftest import run_user
+
+#: every scheme whose crash state lives entirely on the platters
+MEDIA_SCHEMES = ["noorder", "conventional", "flag", "chains", "softupdates"]
+SAFE_SCHEMES = ["conventional", "flag", "chains", "softupdates"]
+
+
+def make_monitor(machine) -> OrderingMonitor:
+    return OrderingMonitor(machine.config.fs_geometry,
+                           machine.scheme.crash_guarantees)
+
+
+def driver_trace_digest(machine) -> str:
+    """A byte-exact digest of the completed request trace."""
+    h = hashlib.sha256()
+    for request in machine.driver.trace:
+        h.update(repr((request.id, request.kind.value, request.lbn,
+                       request.nsectors, request.flag,
+                       sorted(request.depends_on), request.issuer,
+                       request.issue_time, request.dispatch_time,
+                       request.complete_time,
+                       None if request.data is None
+                       else hashlib.sha256(request.data).hexdigest()
+                       )).encode())
+    return h.hexdigest()
+
+
+class TestObserverEffect:
+    @pytest.mark.parametrize("scheme", MEDIA_SCHEMES)
+    def test_monitored_run_is_simulation_identical(self, scheme):
+        bare_machine = build_machine(scheme)
+        bare = record_run(bare_machine,
+                          build_workload(bare_machine, "microbench", 0, 12))
+
+        watched_machine = build_machine(scheme)
+        watcher = make_monitor(watched_machine)
+        watched = record_run(
+            watched_machine,
+            build_workload(watched_machine, "microbench", 0, 12),
+            monitor=watcher)
+
+        # same simulated history, to the last event and timestamp
+        assert watched.windows == bare.windows
+        assert watched.events_processed == bare.events_processed
+        assert watched.quiesce_time == bare.quiesce_time
+        assert (driver_trace_digest(watched_machine)
+                == driver_trace_digest(bare_machine))
+        # and the monitor actually watched the whole stream
+        assert watcher.windows_seen == len(watched.windows) > 0
+
+    def test_monitored_run_composes_with_media_capture(self):
+        # media log + monitor on one stream: both see every window
+        machine = build_machine("conventional")
+        watcher = make_monitor(machine)
+        recorded = record_run(
+            machine, build_workload(machine, "microbench", 0, 12),
+            capture_media=True, monitor=watcher)
+        assert recorded.media_log is not None
+        assert len(recorded.media_log) == watcher.windows_seen
+        assert watcher.commits_applied > 0
+
+
+class TestLifecycle:
+    def test_attach_chains_behind_existing_observer(self):
+        machine = build_machine("conventional")
+        log = MediaLog(machine.disk.geometry.sector_size)
+        log.attach(machine.disk)
+        watcher = make_monitor(machine)
+        watcher.attach(machine.disk)
+        assert machine.disk.on_write_commit == watcher._on_commit
+
+        def touch(fs):
+            yield from fs.write_file("/f", b"x" * 4096)
+            yield from fs.sync()
+
+        run_user(machine, touch(machine.fs), name="touch")
+        # the chained log saw exactly what the monitor saw
+        assert len(log) == watcher.windows_seen > 0
+        watcher.detach(machine.disk)
+        assert machine.disk.on_write_commit == log.record
+
+    def test_double_attach_refused(self):
+        machine = build_machine("conventional")
+        watcher = make_monitor(machine)
+        watcher.attach(machine.disk)
+        with pytest.raises(RuntimeError):
+            watcher.attach(machine.disk)
+
+    def test_supported_only_for_media_resident_schemes(self):
+        for scheme in MEDIA_SCHEMES:
+            assert monitor_supported(build_machine(scheme)), scheme
+        assert not monitor_supported(build_machine("nvram"))
+
+
+class TestControls:
+    def test_noorder_negative_control_fires(self):
+        # No Order declares no ordering: the monitor MUST see rule hits
+        # (else it is vacuously silent), all inside the declaration
+        report = explore("noorder", "microbench", seed=0, jobs=1,
+                         max_points=8, monitor=True)
+        assert report.monitor == "online"
+        assert report.monitor_violations, "monitor must fire for noorder"
+        assert all(v.expected for v in report.monitor_violations)
+        assert not report.monitor_unexpected
+        assert report.exit_status == 0
+
+    @pytest.mark.parametrize("scheme", SAFE_SCHEMES)
+    def test_guaranteed_schemes_stay_clean_across_seeds(self, scheme):
+        for seed in (0, 7):
+            report = explore(scheme, "microbench", seed=seed, jobs=1,
+                             max_points=4, monitor=True)
+            assert report.monitor == "online"
+            assert report.monitor_windows > 0
+            assert report.monitor_violations == (), (
+                scheme, seed,
+                [v.format() for v in report.monitor_violations])
+
+    def test_nvram_reported_unsupported_not_silently_off(self):
+        report = explore("nvram", "microbench", seed=0, jobs=1,
+                         max_points=4, monitor=True)
+        assert report.monitor == "unsupported"
+        assert report.monitor_violations == ()
+
+    def test_monitor_off_by_default(self):
+        report = explore("conventional", "microbench", seed=0, jobs=1,
+                         max_points=4)
+        assert report.monitor == "off"
+        assert report.monitor_windows == 0
+
+
+@pytest.mark.slow
+class TestControlsFullSweeps:
+    """Acceptance-grade: safe schemes clean under churn, across seeds."""
+
+    @pytest.mark.parametrize("scheme", SAFE_SCHEMES)
+    def test_guaranteed_schemes_clean_under_churn(self, scheme):
+        for seed in (0, 7, 23):
+            report = explore(scheme, "churn", seed=seed, jobs=1,
+                             max_points=24, monitor=True)
+            assert report.monitor_violations == (), (
+                scheme, seed,
+                [v.format() for v in report.monitor_violations])
+
+    def test_noorder_fires_under_churn_across_seeds(self):
+        for seed in (0, 7, 23):
+            report = explore("noorder", "churn", seed=seed, jobs=1,
+                             max_points=24, monitor=True)
+            assert report.monitor_violations
+            assert not report.monitor_unexpected

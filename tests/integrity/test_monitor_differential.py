@@ -1,0 +1,135 @@
+"""The differential harness: online monitor vs post-crash fsck.
+
+The tentpole's proof obligation, in two halves:
+
+**Agreement.** For every media-resident scheme x fault profile, one sweep
+runs both verifiers on the same recording -- the monitor watching the
+commit stream live, fsck auditing the synthesized image at every crash
+point -- and their *verdicts* must agree: the monitor reports an
+unexpected ordering violation if and only if the crash sweep finds a
+point outside the scheme's declaration.  Safe schemes: both clean.
+``noorder``: both fire, both within the declaration.  The rule-breaking
+shims: both breach.
+
+**Mutations.** Each shim scheme delays or forces exactly one ordered
+write (the classic fault-injection mutant); the monitor must catch it at
+commit time with the *correct rule* and a real window attribution, the
+sweep's fsck must see the same corruption on the media, and the report
+must refuse to exit 0.  A monitor that never fires, or fires with the
+wrong rule, fails here -- this is the test of the tests.
+
+Tier-1 runs budgeted sweeps; ``-m slow`` runs the full crash-point
+sweeps the weekly CI job is about.
+"""
+
+import pytest
+
+from repro.integrity.explorer import explore
+from repro.integrity.monitor import RULES
+from repro.ordering.shims import SHIMS
+
+MEDIA_SCHEMES = ["noorder", "conventional", "flag", "chains", "softupdates"]
+#: fault dimension: perfect disk, recoverable transients, transients +
+#: recoverable write-path defects (profiles with latent defects would
+#: abort the victim workload itself and test the fault harness, not the
+#: monitor)
+PROFILES = [None, "transient", "mixed"]
+
+#: shim scheme -> (workload that trips it, the rule it must be booked
+#: under).  rule 1/3 breaches need durable entries being removed; rule 2
+#: needs cross-inode fragment reuse, which only the ``reuse`` workload
+#: forces deterministically (see repro.workloads.churn.reuse_churn).
+MUTATIONS = [
+    ("shim-rule1", "remove", "free-while-referenced"),
+    ("shim-rule2", "reuse", "reuse-before-nullify"),
+    ("shim-rule3", "remove", "dirent-uninitialized"),
+]
+
+
+def sweep(scheme, workload="microbench", profile=None, seed=0,
+          max_points=40, **kwargs):
+    return explore(scheme, workload, seed=seed, jobs=1,
+                   max_points=max_points, monitor=True,
+                   fault_profile=profile, fault_seed=3, **kwargs)
+
+
+def assert_verdicts_agree(report):
+    __tracebacks__ = False
+    monitor_breach = bool(report.monitor_unexpected)
+    fsck_breach = bool(report.unexpected_findings)
+    assert monitor_breach == fsck_breach, (
+        f"{report.scheme}/{report.fault_profile}: monitor says "
+        f"{'breach' if monitor_breach else 'clean'} "
+        f"({[v.format() for v in report.monitor_unexpected][:3]}), fsck "
+        f"says {'breach' if fsck_breach else 'clean'} "
+        f"({[(f.index, f.label) for f in report.unexpected_findings][:3]})")
+    assert report.exit_status == (1 if monitor_breach else 0)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("profile", PROFILES,
+                             ids=["none", "transient", "mixed"])
+    @pytest.mark.parametrize("scheme", MEDIA_SCHEMES)
+    def test_monitor_agrees_with_fsck(self, scheme, profile):
+        report = sweep(scheme, profile=profile)
+        assert report.monitor == "online"
+        assert report.monitor_windows > 0
+        assert_verdicts_agree(report)
+        # the paper's schemes all honour their declarations: both clean
+        assert not report.monitor_unexpected
+
+    @pytest.mark.parametrize("scheme,workload,rule", MUTATIONS)
+    def test_shims_breach_both_verifiers(self, scheme, workload, rule):
+        report = sweep(scheme, workload=workload, max_points=60)
+        assert report.monitor_unexpected and report.unexpected_findings
+        assert_verdicts_agree(report)
+        assert rule in {v.rule for v in report.monitor_unexpected}
+
+
+class TestMutationAttribution:
+    """The monitor's finding must carry enough to reproduce the breach."""
+
+    @pytest.mark.parametrize("scheme,workload,rule", MUTATIONS)
+    def test_rule_and_window_attribution(self, scheme, workload, rule):
+        report = sweep(scheme, workload=workload, max_points=1)
+        hits = [v for v in report.monitor_unexpected if v.rule == rule]
+        assert hits, (
+            f"{scheme} must be booked under {rule!r}, got "
+            f"{sorted({v.rule for v in report.monitor_unexpected})}")
+        for violation in hits:
+            assert violation.rule in RULES
+            # a real window inside the recorded run, not a placeholder
+            assert violation.nsectors > 0
+            assert violation.lbn >= 0
+            assert 0.0 < violation.when <= report.quiesce_time
+            assert not violation.expected
+            assert "[UNEXPECTED]" in violation.format()
+        assert report.exit_status == 1
+
+    def test_shim_rules_cover_all_three_paper_rules(self):
+        # the mutation set is complete: one shim per ordering rule
+        assert {rule for _s, (_c, rule) in SHIMS.items()} == {
+            "free-while-referenced", "reuse-before-nullify",
+            "dirent-uninitialized"}
+        assert [name for name, _w, _r in MUTATIONS] == sorted(SHIMS)
+
+
+@pytest.mark.slow
+class TestDifferentialFullSweeps:
+    """Every crash boundary, every media-resident scheme x profile."""
+
+    @pytest.mark.parametrize("profile", PROFILES,
+                             ids=["none", "transient", "mixed"])
+    @pytest.mark.parametrize("scheme", MEDIA_SCHEMES)
+    def test_full_sweep_agreement(self, scheme, profile):
+        report = sweep(scheme, profile=profile, max_points=None)
+        assert report.points == report.enumerated_points > 0
+        assert_verdicts_agree(report)
+        assert not report.monitor_unexpected
+
+    @pytest.mark.parametrize("scheme,workload,rule", MUTATIONS)
+    def test_full_sweep_mutations(self, scheme, workload, rule):
+        report = sweep(scheme, workload=workload, max_points=None)
+        assert rule in {v.rule for v in report.monitor_unexpected}
+        assert report.unexpected_findings
+        assert report.exit_status == 1
