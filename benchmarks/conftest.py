@@ -32,6 +32,7 @@ from repro.harness.parallel import (  # noqa: F401  (run_grid re-exported)
 from repro.harness.perflog import append_record
 from repro.harness.report import format_table
 from repro.harness.runner import FULL_CACHE_BYTES, scale_factor
+from repro.sim import kernel_name
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 PERF_JSON = pathlib.Path(__file__).parent.parent / "BENCH_perf.json"
@@ -70,6 +71,7 @@ def pytest_sessionfinish(session, exitstatus):
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "scale": SCALE,
         "jobs": default_jobs(),
+        "kernel": kernel_name(),
         "wall_seconds": round(sum(g.wall_seconds for g in GRID_REPORTS), 3),
         "cell_wall_seconds": round(sum(g.cell_wall_total
                                        for g in GRID_REPORTS), 3),

@@ -22,6 +22,7 @@ import sys
 from pathlib import Path
 
 from repro.harness.report import format_table
+from repro.sim import KERNELS
 from repro.harness.runner import (
     FULL_CACHE_BYTES,
     STANDARD_SCHEMES,
@@ -97,6 +98,10 @@ def trace_main(argv: list[str]) -> int:
                         help="concurrent user processes (default 1)")
     parser.add_argument("--seed", type=int, default=None,
                         help="tree RNG seed (default: the spec's own)")
+    parser.add_argument("--kernel", default=None, choices=sorted(KERNELS),
+                        help="event-loop kernel (default: REPRO_KERNEL, "
+                             "then the pure-python reference; the choice "
+                             "never changes the simulation)")
     parser.add_argument("--out", default="results/traces",
                         help="output directory (default results/traces)")
     args = parser.parse_args(argv)
@@ -104,7 +109,8 @@ def trace_main(argv: list[str]) -> int:
     scheme = _resolve_scheme(args.scheme)
     tree = TreeSpec().scaled(args.scale)
     cache = max(1 << 20, int(FULL_CACHE_BYTES * args.scale))
-    config = standard_scheme_config(scheme, cache_bytes=cache)
+    config = standard_scheme_config(scheme, cache_bytes=cache,
+                                    kernel=args.kernel)
     config.observe = True
 
     captured = {}
@@ -126,7 +132,8 @@ def trace_main(argv: list[str]) -> int:
     print(f"  elapsed {result.elapsed:.3f}s simulated, "
           f"{result.disk_requests} disk requests, "
           f"{len(machine.obs.tracer.spans)} spans, "
-          f"{machine.engine.events_processed} events")
+          f"{machine.engine.events_processed} events "
+          f"({machine.engine.kernel_name} kernel)")
     for track, summary in sorted(summarize(machine.obs).items()):
         print(f"  track {track}: {summary.active:.3f}s active, "
               f"{100 * summary.coverage:.1f}% under named spans")

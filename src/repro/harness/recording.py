@@ -119,7 +119,7 @@ def record_run(machine: Machine, workload: Generator,
         budget = max_events
         done_seen = False
         while not (process.triggered and quiescent(machine)):
-            if not engine._heap:
+            if engine.pending_events == 0:
                 raise SimulationError(
                     "event heap drained before the machine quiesced")
             engine.step()

@@ -55,34 +55,45 @@ class SchemeSpec:
 
 
 def _config(scheme, policy=None, block_copy=None,
-            cache_bytes: Optional[int] = None) -> MachineConfig:
+            cache_bytes: Optional[int] = None,
+            kernel: Optional[str] = None) -> MachineConfig:
     return MachineConfig(scheme=scheme, policy=policy, block_copy=block_copy,
                          costs=CostModel(),
-                         cache_bytes=cache_bytes or FULL_CACHE_BYTES)
+                         cache_bytes=cache_bytes or FULL_CACHE_BYTES,
+                         kernel=kernel)
 
 
 def standard_scheme_config(name: str, alloc_init: bool = False,
-                           cache_bytes: Optional[int] = None) -> MachineConfig:
-    """The five configurations compared in section 5."""
+                           cache_bytes: Optional[int] = None,
+                           kernel: Optional[str] = None) -> MachineConfig:
+    """The five configurations compared in section 5.
+
+    *kernel* picks the event-loop kernel (``repro.sim.KERNELS``); the
+    default defers to ``REPRO_KERNEL`` and then the reference kernel.
+    Kernels are simulation-identical, so every table is byte-identical
+    whichever one runs it (``benchmarks/test_kernel_throughput.py``).
+    """
     if name == "No Order":
-        return _config(NoOrderScheme(), cache_bytes=cache_bytes)
+        return _config(NoOrderScheme(), cache_bytes=cache_bytes,
+                       kernel=kernel)
     if name == "Conventional":
         return _config(ConventionalScheme(alloc_init=alloc_init),
-                       cache_bytes=cache_bytes)
+                       cache_bytes=cache_bytes, kernel=kernel)
     if name == "Scheduler Flag":
         # Part-NR/CB, the best flag configuration (section 5)
         return _config(SchedulerFlagScheme(alloc_init=alloc_init,
                                            block_copy=True),
                        policy=FlagPolicy(FlagSemantics.PART,
                                          read_bypass=True),
-                       cache_bytes=cache_bytes)
+                       cache_bytes=cache_bytes, kernel=kernel)
     if name == "Scheduler Chains":
         return _config(SchedulerChainsScheme(alloc_init=alloc_init,
                                              block_copy=True),
-                       policy=ChainsPolicy(), cache_bytes=cache_bytes)
+                       policy=ChainsPolicy(), cache_bytes=cache_bytes,
+                       kernel=kernel)
     if name == "Soft Updates":
         return _config(SoftUpdatesScheme(alloc_init=alloc_init),
-                       cache_bytes=cache_bytes)
+                       cache_bytes=cache_bytes, kernel=kernel)
     raise ValueError(f"unknown scheme {name!r}")
 
 

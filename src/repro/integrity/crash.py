@@ -57,7 +57,10 @@ class CrashScheduler:
         engine = self.machine.engine
         process = engine.process(workload, name=name)
         target = engine.now + crash_at
-        while engine._heap and engine._heap[0][0] <= target:
+        while True:
+            upcoming = engine.next_event_time
+            if upcoming is None or upcoming > target:
+                break
             engine.step()
             if max_events is not None:
                 max_events -= 1

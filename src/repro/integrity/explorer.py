@@ -144,12 +144,18 @@ WORKLOADS = {
 
 def build_machine(scheme_name: str, secrets: bool = False,
                   fault_profile: Optional[str] = None,
-                  fault_seed: int = 0) -> Machine:
+                  fault_seed: int = 0,
+                  kernel: Optional[str] = None) -> Machine:
     """A formatted exploration machine (deterministic for a given name).
 
     *fault_profile* names an entry of :data:`repro.faults.PROFILES`; the
     resulting plan is seeded with *fault_seed* so record and replay see the
     identical fault sequence.
+
+    *kernel* picks the event-loop kernel (default: ``REPRO_KERNEL``, then
+    the reference).  Kernels are simulation-identical, so recording and
+    replay need not even agree on one -- the crash images come out the
+    same either way.
     """
     try:
         scheme = SCHEMES[scheme_name]()
@@ -167,7 +173,8 @@ def build_machine(scheme_name: str, secrets: bool = False,
                            fs_geometry=EXPLORER_GEOMETRY,
                            cache_bytes=2 * 1024 * 1024,
                            costs=CostModel(scale=0.0),
-                           faults=faults)
+                           faults=faults,
+                           kernel=kernel)
     machine = Machine(config)
     machine.format()
     if secrets:

@@ -73,6 +73,11 @@ class MachineConfig:
     #: make the disk unreliable (None = the perfect disk; a plan with all
     #: rates zero is byte-identical to None -- tests/faults proves it)
     faults: Optional[FaultPlan] = None
+    #: event-loop kernel name (``repro.sim.KERNELS``); None defers to
+    #: ``REPRO_KERNEL`` and then the pure-python reference kernel.  Every
+    #: kernel is simulation-identical -- the conformance suite proves it --
+    #: so this knob only trades host wall clock.
+    kernel: Optional[str] = None
 
 
 class Machine:
@@ -81,7 +86,7 @@ class Machine:
     def __init__(self, config: Optional[MachineConfig] = None) -> None:
         self.config = config or MachineConfig()
         cfg = self.config
-        self.engine = Engine()
+        self.engine = Engine(kernel=cfg.kernel)
         # observability is installed before any component is built so each
         # one can capture its instruments (or None) exactly once
         self.obs = Observability(self.engine).attach(self.engine) \

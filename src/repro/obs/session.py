@@ -38,7 +38,7 @@ class Observability:
     def _on_event(self, when: float, event) -> None:
         """Engine dispatch hook: per-event accounting (never blocks)."""
         self._events.inc()
-        self._heap_peak.track_max(len(self.engine._heap))
+        self._heap_peak.track_max(self.engine.pending_events)
 
     def snapshot(self) -> dict:
         """Flat ``{metric name: value}`` for ``RunResult.extra``."""

@@ -1,23 +1,31 @@
-"""The discrete-event engine: clock, heap, and run loop."""
+"""The discrete-event engine: clock, event construction, and the kernel.
+
+The engine is the public face of the simulation: it owns the clock
+attribute, builds events/timeouts/processes, and exposes the run loops.
+The event queue itself and the hot dispatch loops live in a swappable
+*kernel* (:mod:`repro.sim.kernel`): the pure-python reference kernel is
+the default and the equivalence oracle; the batched ``fast`` kernel trades
+per-event heap sifts for amortized array sorts.  Select with
+``Engine(kernel="fast")`` or ``REPRO_KERNEL=fast``.
+"""
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.events import Event, Timeout
+from repro.sim.kernel import SimulationError, resolve_kernel
 
-
-class SimulationError(RuntimeError):
-    """Raised when the simulation cannot make progress or a process crashed."""
+__all__ = ["Engine", "SimulationError"]
 
 
 class Engine:
     """The event loop and simulated clock.
 
-    The engine holds a heap of ``(time, sequence, event)`` entries.  Entries
-    at equal times fire in insertion order, which makes every simulation run
-    fully deterministic for a given seed.
+    The engine's kernel holds a queue of ``(time, sequence, event)``
+    entries.  Entries at equal times fire in insertion order, which makes
+    every simulation run fully deterministic for a given seed -- under any
+    kernel.
 
     Typical use::
 
@@ -32,22 +40,21 @@ class Engine:
         assert eng.now == 1.5 and proc.value == "done"
     """
 
-    __slots__ = ("now", "_heap", "_seq", "current_process", "_event_count",
-                 "obs", "trace_hook")
+    __slots__ = ("now", "current_process", "obs", "trace_hook", "_kernel")
 
-    def __init__(self) -> None:
+    def __init__(self, kernel=None) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
-        self._seq = 0
         #: the process currently being resumed (None outside process context)
         self.current_process = None
-        self._event_count = 0
         #: the machine's observability session (None = tracing off); set by
         #: Observability.attach() before any component is constructed
         self.obs = None
         #: per-event dispatch hook ``hook(when, event)``; must be passive
         #: (read-only) so dispatch order and timestamps never change
         self.trace_hook = None
+        #: the event-loop kernel (name, class, instance, or None for the
+        #: REPRO_KERNEL / reference default)
+        self._kernel = resolve_kernel(kernel).bind(self)
 
     # -- event construction ---------------------------------------------
     def event(self) -> Event:
@@ -65,67 +72,36 @@ class Engine:
         return Process(self, generator, name=name)
 
     def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` after *delay* simulated seconds (no process)."""
-        event = self.timeout(delay)
-        event.callbacks.append(lambda _ev: fn(*args))
+        """Run ``fn(*args)`` after *delay* simulated seconds (no process).
 
-    # -- heap internals ---------------------------------------------------
+        No event object is handed back, so kernels are free to keep the
+        timer in flat storage and call *fn* directly at dispatch.
+        """
+        self._kernel.schedule_call(delay, fn, args)
+
+    # -- kernel internals -------------------------------------------------
     def _enqueue_event(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        """Compatibility shim; events call the kernel directly."""
+        self._kernel.schedule(event, delay)
 
-    # -- run loop ---------------------------------------------------------
-    # The three run loops below inline step()'s body: they are the hottest
-    # frames of every simulation (one iteration per event), and the method
-    # call + repeated attribute lookups cost ~15% of total runtime at
-    # benchmark scale.  step() stays as the single-event API.
-
+    # -- run loops ---------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event on the heap."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event heap")
-        when, _seq, event = heapq.heappop(self._heap)
-        if when < self.now:
-            raise SimulationError(f"time went backwards: {when} < {self.now}")
-        self.now = when
-        self._event_count += 1
-        if self.trace_hook is not None:
-            self.trace_hook(when, event)
-        event._process()
+        """Process the single next event on the queue."""
+        self._kernel.advance()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run until the heap drains, the clock passes *until*, or *max_events*.
+        """Run until the queue drains, the clock passes *until*, or *max_events*.
 
         ``until`` is an absolute simulated time; events scheduled at exactly
         *until* are processed, and the clock is left at ``max(now, until)``
-        whether the heap drained early or still holds later events (the same
+        whether the queue drained early or still holds later events (the same
         semantics as :meth:`run_to` -- in particular the clock never moves
         backwards when *until* is already in the past).  ``max_events`` is a
-        safety valve for tests: exceeding it raises :class:`SimulationError`
+        safety valve for tests: the loop dispatches at most that many events
+        and raises :class:`SimulationError` when one more would be needed,
         rather than hanging.
         """
-        heap = self._heap
-        pop = heapq.heappop
-        hook = self.trace_hook
-        processed = 0
-        while heap:
-            if until is not None and heap[0][0] > until:
-                break
-            when, _seq, event = pop(heap)
-            if when < self.now:
-                raise SimulationError(
-                    f"time went backwards: {when} < {self.now}")
-            self.now = when
-            self._event_count += 1
-            if hook is not None:
-                hook(when, event)
-            event._process()
-            processed += 1
-            if max_events is not None and processed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self.now:.6f}")
-        if until is not None and until > self.now:
-            self.now = until
+        self._kernel.run(until=until, max_events=max_events)
 
     def run_to(self, when: float, max_events: Optional[int] = None) -> None:
         """Advance the clock to the absolute instant *when*.
@@ -133,69 +109,44 @@ class Engine:
         Processes every event scheduled at or before *when* (inclusive: two
         runs stopped at the same instant see the same event prefix, which is
         what makes crash-state replay deterministic) and leaves the clock at
-        exactly *when* even if the heap still holds later events or drained
+        exactly *when* even if the queue still holds later events or drained
         early.
         """
-        heap = self._heap
-        pop = heapq.heappop
-        hook = self.trace_hook
-        processed = 0
-        while heap and heap[0][0] <= when:
-            event_when, _seq, event = pop(heap)
-            if event_when < self.now:
-                raise SimulationError(
-                    f"time went backwards: {event_when} < {self.now}")
-            self.now = event_when
-            self._event_count += 1
-            if hook is not None:
-                hook(event_when, event)
-            event._process()
-            processed += 1
-            if max_events is not None and processed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self.now:.6f}")
-        self.now = max(self.now, when)
+        self._kernel.run_to(when, max_events=max_events)
 
     def run_until(self, event: Event, max_events: Optional[int] = None) -> Any:
         """Run until *event* has been processed; return its value.
 
         Raises the event's exception if it failed, and
-        :class:`SimulationError` if the heap drains first.
+        :class:`SimulationError` if the queue drains first.
         """
-        heap = self._heap
-        pop = heapq.heappop
-        hook = self.trace_hook
-        processed = 0
-        while not event._processed:
-            if not heap:
-                raise SimulationError(
-                    f"event heap drained at t={self.now:.6f} before the awaited "
-                    f"event fired (deadlock or missing wakeup)")
-            when, _seq, next_event = pop(heap)
-            if when < self.now:
-                raise SimulationError(
-                    f"time went backwards: {when} < {self.now}")
-            self.now = when
-            self._event_count += 1
-            if hook is not None:
-                hook(when, next_event)
-            next_event._process()
-            processed += 1
-            if max_events is not None and processed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self.now:.6f}")
-        if not event.ok:
-            raise event.value
-        return event.value
+        return self._kernel.run_until(event, max_events=max_events)
 
     def run_all(self, events: list[Event], max_events: Optional[int] = None) -> list[Any]:
         """Run until every event in *events* has fired; return their values."""
         return [self.run_until(event, max_events=max_events) for event in events]
 
+    # -- introspection -----------------------------------------------------
     @property
     def events_processed(self) -> int:
         """Total events processed since construction (for instrumentation)."""
-        return self._event_count
+        return self._kernel.events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Scheduled-but-undispatched entries (the queue length)."""
+        return self._kernel.pending()
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """The next event's timestamp, or None when nothing is pending."""
+        return self._kernel.peek()
+
+    @property
+    def kernel_name(self) -> str:
+        """The active kernel's registry name (``"python"`` / ``"fast"``)."""
+        return self._kernel.name
 
     def __repr__(self) -> str:
-        return f"<Engine t={self.now:.6f} pending={len(self._heap)}>"
+        return (f"<Engine t={self.now:.6f} pending={self._kernel.pending()} "
+                f"kernel={self._kernel.name}>")

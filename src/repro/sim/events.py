@@ -6,8 +6,12 @@ processing order is deterministic and independent of who calls
 :meth:`Event.succeed`:
 
 1. ``succeed()`` / ``fail()`` marks the event triggered and enqueues it on the
-   engine's heap at the current simulated time;
-2. the engine pops it and runs its callbacks (resuming waiting processes).
+   engine's kernel at the current simulated time;
+2. the kernel pops it and runs its callbacks (resuming waiting processes).
+
+Events talk to the kernel (:mod:`repro.sim.kernel`) directly rather than
+through the engine: ``wake``/``schedule`` are the hottest calls in the
+simulator, and the kernel is the component that owns the queue.
 """
 
 from __future__ import annotations
@@ -62,7 +66,7 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._triggered = True
         self._value = value
-        self.engine._enqueue_event(self)
+        self.engine._kernel.wake(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -73,7 +77,7 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._triggered = True
         self._exc = exc
-        self.engine._enqueue_event(self)
+        self.engine._kernel.wake(self)
         return self
 
     # -- engine internals ----------------------------------------------
@@ -86,9 +90,12 @@ class Event:
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self._processed:
-            # Late subscription to an already-processed event: deliver on the
-            # next engine step so the caller never re-enters synchronously.
-            self.engine.call_later(0.0, callback, self)
+            # Late subscription to an already-processed event: deliver
+            # through the kernel's deferred queue -- before the next
+            # dispatch, or at run-loop exit -- so the caller never
+            # re-enters synchronously and the callback can never be
+            # dropped by a run that stops before a wrapper event fires.
+            self.engine._kernel.defer(callback, self)
         else:
             self.callbacks.append(callback)
 
@@ -110,4 +117,4 @@ class Timeout(Event):
         self.delay = delay
         self._triggered = True
         self._value = value
-        engine._enqueue_event(self, delay)
+        engine._kernel.schedule(self, delay)

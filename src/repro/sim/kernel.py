@@ -1,0 +1,658 @@
+"""Swappable event-loop kernels: the engine room behind :class:`Engine`.
+
+The kernel owns the event queue and the run loops -- everything between
+"this event is due" and "its callbacks ran".  :class:`~repro.sim.engine.Engine`
+keeps the public API, the simulated clock attribute, process bookkeeping and
+the trace hook; events and the engine talk to the kernel through a narrow
+interface:
+
+* ``schedule(event, delay)``  -- enqueue *event* at ``now + delay``;
+* ``wake(event)``             -- enqueue *event* at the current instant
+  (the ``succeed``/``fail`` path);
+* ``schedule_call(delay, fn, args)`` -- run a bare callable at ``now +
+  delay`` (the ``call_later`` path; no caller ever sees the event object,
+  so a kernel may elide it);
+* ``defer(fn, event)``        -- deliver a late subscription to an
+  already-processed event: the callback runs before the next dispatch and
+  is flushed when any run loop exits, so it can never be silently dropped;
+* ``advance()`` / ``run`` / ``run_to`` / ``run_until`` -- the run loops;
+* ``peek()`` / ``pending()`` / ``events_processed`` -- introspection.
+
+Two kernels are registered:
+
+* :class:`PythonKernel` (``"python"``, the default) -- a faithful binary
+  heap processing one event at a time.  It is the *equivalence oracle*:
+  every other kernel must reproduce its event order, timestamps and event
+  counts exactly (``tests/sim/test_kernel_conformance.py``), and the
+  benchmark grid must emit byte-identical tables under every kernel.
+* :class:`FastKernel` (``"fast"``) -- batched heap operations over
+  array-of-struct storage: schedules append to flat ``(when, seq, obj)``
+  array columns and are folded into a sorted spine lazily (numpy
+  ``lexsort`` when available and the batch is large, Timsort's galloping
+  run-merge otherwise), so a mass-scheduled workload pays one C-speed sort
+  instead of a sift per event, and pops are ``list.pop()`` instead of a
+  heap sift-down.  Bare timeouts and ``schedule_call`` timers dispatch
+  without a Python method call per event.
+
+Selection: ``MachineConfig.kernel``, ``Engine(kernel=...)`` or the
+``REPRO_KERNEL`` environment variable (the config wins when both are set).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, Timeout
+
+try:  # optional: the fast kernel falls back to pure-python batch sorts
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free hosts
+    _np = None
+
+__all__ = ["KERNELS", "FastKernel", "Kernel", "PythonKernel",
+           "SimulationError", "kernel_name", "resolve_kernel"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation cannot make progress or a process crashed."""
+
+
+_DRAINED_MSG = ("event heap drained at t={:.6f} before the awaited "
+                "event fired (deadlock or missing wakeup)")
+
+
+class Kernel:
+    """Interface and shared plumbing for event-loop kernels."""
+
+    #: registry key; subclasses must override
+    name = "abstract"
+
+    __slots__ = ("engine", "_deferred")
+
+    def __init__(self) -> None:
+        self.engine = None
+        #: late subscriptions to already-processed events, delivered before
+        #: the next dispatch and flushed at every run-loop exit
+        self._deferred: deque = deque()
+
+    def bind(self, engine) -> "Kernel":
+        """Attach to *engine*; called exactly once, by ``Engine.__init__``."""
+        if self.engine is not None:
+            raise RuntimeError(f"kernel {self.name!r} is already bound")
+        self.engine = engine
+        return self
+
+    # -- deferred late-callback delivery --------------------------------
+    def defer(self, fn: Callable, event) -> None:
+        """Queue ``fn(event)`` for delivery before the next dispatch."""
+        self._deferred.append((fn, event))
+
+    def _drain_deferred(self) -> None:
+        deferred = self._deferred
+        while deferred:
+            fn, event = deferred.popleft()
+            fn(event)
+
+    # -- the narrow interface (implemented per kernel) -------------------
+    def schedule(self, event, delay: float = 0.0) -> None:
+        raise NotImplementedError
+
+    def wake(self, event) -> None:
+        raise NotImplementedError
+
+    def schedule_call(self, delay: float, fn: Callable, args: tuple = ()) -> None:
+        raise NotImplementedError
+
+    def advance(self) -> None:
+        raise NotImplementedError
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        raise NotImplementedError
+
+    def run_to(self, when: float, max_events: Optional[int] = None) -> None:
+        raise NotImplementedError
+
+    def run_until(self, event, max_events: Optional[int] = None) -> Any:
+        raise NotImplementedError
+
+    def peek(self) -> Optional[float]:
+        """The next event's timestamp, or None when nothing is pending."""
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        """Number of scheduled-but-undispatched entries."""
+        raise NotImplementedError
+
+    @property
+    def events_processed(self) -> int:
+        raise NotImplementedError
+
+
+class PythonKernel(Kernel):
+    """The reference kernel: a binary heap, one event at a time.
+
+    This is a faithful port of the original inlined ``Engine`` run loops
+    and serves as the equivalence oracle for every other kernel.  Keep it
+    boring: correctness here defines correctness everywhere.
+    """
+
+    name = "python"
+
+    __slots__ = ("_heap", "_seq", "_event_count")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._event_count = 0
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heappush(self._heap, (self.engine.now + delay, self._seq, event))
+
+    def wake(self, event) -> None:
+        self._seq += 1
+        heappush(self._heap, (self.engine.now, self._seq, event))
+
+    def schedule_call(self, delay: float, fn: Callable, args: tuple = ()) -> None:
+        event = Timeout(self.engine, delay)
+        event.callbacks.append(lambda _ev, _fn=fn, _args=args: _fn(*_args))
+
+    # -- introspection ---------------------------------------------------
+    def peek(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    # -- run loops -------------------------------------------------------
+    # The loops inline advance()'s body: they are the hottest frames of
+    # every simulation (one iteration per event), and the method call +
+    # repeated attribute lookups cost ~15% of total runtime at benchmark
+    # scale.  advance() stays as the single-event API.
+
+    def advance(self) -> None:
+        if self._deferred:
+            self._drain_deferred()
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        engine = self.engine
+        when, _seq, event = heappop(self._heap)
+        if when < engine.now:
+            raise SimulationError(f"time went backwards: {when} < {engine.now}")
+        engine.now = when
+        self._event_count += 1
+        hook = engine.trace_hook
+        if hook is not None:
+            hook(when, event)
+        event._process()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        engine = self.engine
+        heap = self._heap
+        pop = heappop
+        hook = engine.trace_hook
+        deferred = self._deferred
+        processed = 0
+        if deferred:
+            self._drain_deferred()
+        while heap:
+            if until is not None and heap[0][0] > until:
+                break
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={engine.now:.6f}")
+            when, _seq, event = pop(heap)
+            if when < engine.now:
+                raise SimulationError(
+                    f"time went backwards: {when} < {engine.now}")
+            engine.now = when
+            self._event_count += 1
+            if hook is not None:
+                hook(when, event)
+            event._process()
+            processed += 1
+            if deferred:
+                self._drain_deferred()
+        if until is not None and until > engine.now:
+            engine.now = until
+        if deferred:
+            self._drain_deferred()
+
+    def run_to(self, when: float, max_events: Optional[int] = None) -> None:
+        engine = self.engine
+        heap = self._heap
+        pop = heappop
+        hook = engine.trace_hook
+        deferred = self._deferred
+        processed = 0
+        if deferred:
+            self._drain_deferred()
+        while heap and heap[0][0] <= when:
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={engine.now:.6f}")
+            event_when, _seq, event = pop(heap)
+            if event_when < engine.now:
+                raise SimulationError(
+                    f"time went backwards: {event_when} < {engine.now}")
+            engine.now = event_when
+            self._event_count += 1
+            if hook is not None:
+                hook(event_when, event)
+            event._process()
+            processed += 1
+            if deferred:
+                self._drain_deferred()
+        engine.now = max(engine.now, when)
+        if deferred:
+            self._drain_deferred()
+
+    def run_until(self, event, max_events: Optional[int] = None) -> Any:
+        engine = self.engine
+        heap = self._heap
+        pop = heappop
+        hook = engine.trace_hook
+        deferred = self._deferred
+        processed = 0
+        if deferred:
+            self._drain_deferred()
+        while not event._processed:
+            if not heap:
+                raise SimulationError(_DRAINED_MSG.format(engine.now))
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={engine.now:.6f}")
+            when, _seq, next_event = pop(heap)
+            if when < engine.now:
+                raise SimulationError(
+                    f"time went backwards: {when} < {engine.now}")
+            engine.now = when
+            self._event_count += 1
+            if hook is not None:
+                hook(when, next_event)
+            next_event._process()
+            processed += 1
+            if deferred:
+                self._drain_deferred()
+        if deferred:
+            self._drain_deferred()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+
+_INF = float("inf")
+
+#: pending batches smaller than this are bisect-inserted into the spine;
+#: larger ones are sorted wholesale and merged (Timsort gallops over the
+#: two runs, or numpy lexsorts the batch first when it is big enough)
+_INSORT_MAX = 24
+_LEXSORT_MIN = 2048
+
+
+class FastKernel(Kernel):
+    """Batched heap operations over array-of-struct storage.
+
+    Scheduling appends to flat parallel columns (``when`` / ``seq`` /
+    payload); dispatch pulls from a descending-sorted *spine* list so the
+    next event is a ``list.pop()``.  The pending columns are folded into
+    the spine only when an appended entry could actually fire before the
+    spine's head (tracked with a running minimum), so a burst of K
+    schedules costs one batch sort instead of K heap sifts.
+
+    Two per-event fast paths (both invisible to the simulation):
+
+    * ``schedule_call`` timers are stored as bare ``(fn, args)`` tuples --
+      no Event object is ever built unless a trace hook needs to see one;
+    * an :class:`Event`/:class:`Timeout` with no callbacks is marked
+      processed inline, skipping the ``_process`` method call.
+
+    Semantics are identical to :class:`PythonKernel` -- same ``(when,
+    seq)`` total order, same ``events_processed`` accounting, same error
+    messages -- which the conformance suite asserts for every registered
+    kernel.
+    """
+
+    name = "fast"
+
+    #: True when numpy is available to vectorize large batch sorts
+    vectorized = _np is not None
+
+    __slots__ = ("_spine", "_p_when", "_p_seq", "_p_obj", "_p_min",
+                 "_seq", "_event_count")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: sorted spine, DESCENDING by (when, seq): next event at the end
+        self._spine: list[tuple] = []
+        #: unsorted pending columns (array-of-struct storage)
+        self._p_when: list[float] = []
+        self._p_seq: list[int] = []
+        self._p_obj: list = []
+        #: running min of the pending whens: merges happen only when an
+        #: appended entry could beat the spine's head
+        self._p_min = _INF
+        self._seq = 0
+        self._event_count = 0
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event, delay: float = 0.0) -> None:
+        self._seq = seq = self._seq + 1
+        when = self.engine.now + delay
+        self._p_when.append(when)
+        self._p_seq.append(seq)
+        self._p_obj.append(event)
+        if when < self._p_min:
+            self._p_min = when
+
+    wake = schedule
+
+    def schedule_call(self, delay: float, fn: Callable, args: tuple = ()) -> None:
+        if self.engine.trace_hook is not None:
+            # a hook observes every dispatched event, so materialize the
+            # exact object the reference kernel would have built
+            event = Timeout(self.engine, delay)
+            event.callbacks.append(lambda _ev, _fn=fn, _args=args: _fn(*_args))
+            return
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        self._seq = seq = self._seq + 1
+        when = self.engine.now + delay
+        self._p_when.append(when)
+        self._p_seq.append(seq)
+        self._p_obj.append((fn, args))
+        if when < self._p_min:
+            self._p_min = when
+
+    # -- pending-batch merge --------------------------------------------
+    def _merge(self) -> None:
+        """Fold the pending columns into the sorted spine (in place)."""
+        p_when = self._p_when
+        p_seq = self._p_seq
+        p_obj = self._p_obj
+        spine = self._spine
+        n = len(p_when)
+        if n <= _INSORT_MAX:
+            for item in zip(p_when, p_seq, p_obj):
+                # bisect into the descending spine (stdlib bisect assumes
+                # ascending order, so inline the halving loop)
+                lo, hi = 0, len(spine)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if spine[mid] > item:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                spine.insert(lo, item)
+        else:
+            if _np is not None and n >= _LEXSORT_MIN:
+                order = _np.lexsort((_np.asarray(p_seq, dtype=_np.int64),
+                                     _np.asarray(p_when)))[::-1].tolist()
+                batch = [(p_when[i], p_seq[i], p_obj[i]) for i in order]
+            else:
+                batch = sorted(zip(p_when, p_seq, p_obj), reverse=True)
+            if not spine or spine[-1] >= batch[0]:
+                spine.extend(batch)
+            else:
+                spine.extend(batch)
+                spine.sort(reverse=True)
+        del p_when[:], p_seq[:], p_obj[:]
+        self._p_min = _INF
+
+    # -- introspection ---------------------------------------------------
+    def peek(self) -> Optional[float]:
+        head = self._spine[-1][0] if self._spine else None
+        if self._p_when:
+            return self._p_min if head is None else min(head, self._p_min)
+        return head
+
+    def pending(self) -> int:
+        return len(self._spine) + len(self._p_when)
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    # -- run loops -------------------------------------------------------
+    # Every loop keeps ``now`` and the event count in locals and flushes
+    # them to the engine before any user code (callbacks, timer fns,
+    # hooks) can observe them, and again on exit -- so the observable
+    # clock/count behaviour matches the reference kernel exactly while
+    # bare timeouts pay no attribute traffic at all.
+
+    def advance(self) -> None:
+        if self._deferred:
+            self._drain_deferred()
+        spine = self._spine
+        if self._p_when and (not spine or spine[-1][0] > self._p_min):
+            self._merge()
+        if not spine:
+            raise SimulationError("step() on an empty event heap")
+        engine = self.engine
+        when, _seq, obj = spine.pop()
+        if when < engine.now:
+            raise SimulationError(f"time went backwards: {when} < {engine.now}")
+        engine.now = when
+        self._event_count += 1
+        hook = engine.trace_hook
+        if obj.__class__ is tuple:
+            fn, args = obj
+            fn(*args)
+            return
+        if hook is not None:
+            hook(when, obj)
+        obj._process()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        engine = self.engine
+        spine = self._spine
+        p_when = self._p_when
+        deferred = self._deferred
+        hook = engine.trace_hook
+        processed = 0
+        now = engine.now
+        count = self._event_count
+        try:
+            while True:
+                if deferred:
+                    engine.now = now
+                    self._event_count = count
+                    self._drain_deferred()
+                if p_when and (not spine or spine[-1][0] > self._p_min):
+                    self._merge()
+                if not spine:
+                    break
+                when = spine[-1][0]
+                if until is not None and when > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={now:.6f}")
+                obj = spine.pop()[2]
+                if when < now:
+                    raise SimulationError(
+                        f"time went backwards: {when} < {now}")
+                now = when
+                count += 1
+                processed += 1
+                cls = obj.__class__
+                if cls is tuple:
+                    engine.now = now
+                    self._event_count = count
+                    fn, args = obj
+                    fn(*args)
+                    now = engine.now
+                    count = self._event_count
+                elif (hook is None and (cls is Timeout or cls is Event)
+                        and not obj.callbacks):
+                    obj._processed = True
+                else:
+                    engine.now = now
+                    self._event_count = count
+                    if hook is not None:
+                        hook(when, obj)
+                    obj._process()
+                    now = engine.now
+                    count = self._event_count
+        finally:
+            engine.now = now
+            self._event_count = count
+        if until is not None and until > engine.now:
+            engine.now = until
+        if deferred:
+            self._drain_deferred()
+
+    def run_to(self, when: float, max_events: Optional[int] = None) -> None:
+        engine = self.engine
+        spine = self._spine
+        p_when = self._p_when
+        deferred = self._deferred
+        hook = engine.trace_hook
+        processed = 0
+        now = engine.now
+        count = self._event_count
+        try:
+            while True:
+                if deferred:
+                    engine.now = now
+                    self._event_count = count
+                    self._drain_deferred()
+                if p_when and (not spine or spine[-1][0] > self._p_min):
+                    self._merge()
+                if not spine:
+                    break
+                event_when = spine[-1][0]
+                if event_when > when:
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={now:.6f}")
+                obj = spine.pop()[2]
+                if event_when < now:
+                    raise SimulationError(
+                        f"time went backwards: {event_when} < {now}")
+                now = event_when
+                count += 1
+                processed += 1
+                cls = obj.__class__
+                if cls is tuple:
+                    engine.now = now
+                    self._event_count = count
+                    fn, args = obj
+                    fn(*args)
+                    now = engine.now
+                    count = self._event_count
+                elif (hook is None and (cls is Timeout or cls is Event)
+                        and not obj.callbacks):
+                    obj._processed = True
+                else:
+                    engine.now = now
+                    self._event_count = count
+                    if hook is not None:
+                        hook(event_when, obj)
+                    obj._process()
+                    now = engine.now
+                    count = self._event_count
+        finally:
+            engine.now = now
+            self._event_count = count
+        engine.now = max(engine.now, when)
+        if deferred:
+            self._drain_deferred()
+
+    def run_until(self, event, max_events: Optional[int] = None) -> Any:
+        engine = self.engine
+        spine = self._spine
+        p_when = self._p_when
+        deferred = self._deferred
+        hook = engine.trace_hook
+        processed = 0
+        now = engine.now
+        count = self._event_count
+        try:
+            while not event._processed:
+                if deferred:
+                    engine.now = now
+                    self._event_count = count
+                    self._drain_deferred()
+                if p_when and (not spine or spine[-1][0] > self._p_min):
+                    self._merge()
+                if not spine:
+                    raise SimulationError(_DRAINED_MSG.format(now))
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={now:.6f}")
+                when, _seq, obj = spine.pop()
+                if when < now:
+                    raise SimulationError(
+                        f"time went backwards: {when} < {now}")
+                now = when
+                count += 1
+                processed += 1
+                cls = obj.__class__
+                if cls is tuple:
+                    engine.now = now
+                    self._event_count = count
+                    fn, args = obj
+                    fn(*args)
+                    now = engine.now
+                    count = self._event_count
+                elif (hook is None and (cls is Timeout or cls is Event)
+                        and not obj.callbacks):
+                    obj._processed = True
+                else:
+                    engine.now = now
+                    self._event_count = count
+                    if hook is not None:
+                        hook(when, obj)
+                    obj._process()
+                    now = engine.now
+                    count = self._event_count
+        finally:
+            engine.now = now
+            self._event_count = count
+        if deferred:
+            self._drain_deferred()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+
+#: registered kernels, keyed by the name ``MachineConfig.kernel`` /
+#: ``REPRO_KERNEL`` select on
+KERNELS: dict[str, type] = {
+    PythonKernel.name: PythonKernel,
+    FastKernel.name: FastKernel,
+}
+
+
+def kernel_name(explicit: Optional[str] = None) -> str:
+    """Resolve a kernel name: *explicit* beats ``REPRO_KERNEL`` beats
+    the default (``"python"``, the reference oracle)."""
+    name = explicit or os.environ.get("REPRO_KERNEL") or PythonKernel.name
+    if name not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {name!r}; registered: {sorted(KERNELS)}")
+    return name
+
+
+def resolve_kernel(spec=None) -> Kernel:
+    """Build the kernel *spec* names: a registered name, a Kernel class or
+    instance, or None (``REPRO_KERNEL`` / the python default)."""
+    if isinstance(spec, Kernel):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Kernel):
+        return spec()
+    return KERNELS[kernel_name(spec)]()

@@ -1,0 +1,279 @@
+"""Kernel conformance: every registered kernel is the same simulation.
+
+:data:`repro.sim.KERNELS` maps names to swappable event-loop kernels; the
+pure-python kernel is the reference oracle.  A kernel is conformant when no
+simulated workload can tell it apart from the reference: same event order
+at equal timestamps (FIFO by schedule sequence), same clock-leave semantics
+for every run-loop flavour, same error detection, same ``events_processed``
+accounting, and -- the end-to-end check -- byte-identical driver traces for
+a full file-system workload under every ordering scheme.
+
+Each test either asserts an absolute property per kernel or compares a
+kernel's observable trace against the reference kernel's on an identical
+scripted schedule.
+"""
+
+import pytest
+
+from repro.sim import KERNELS, Engine, SimulationError, kernel_name
+from tests.conftest import SCHEME_FACTORIES, make_machine, run_user
+from tests.obs.test_equivalence import churn, driver_trace_digest
+
+ALL_KERNELS = sorted(KERNELS)
+#: every kernel that must match the reference (today: just "fast")
+CANDIDATE_KERNELS = [name for name in ALL_KERNELS if name != "python"]
+
+
+@pytest.fixture(params=ALL_KERNELS)
+def kern(request):
+    return request.param
+
+
+# ---------------------------------------------------------------------------
+# a scripted schedule exercising every enqueue path with equal-time ties
+# ---------------------------------------------------------------------------
+
+def scripted_run(kernel, hook_log=None):
+    """Run a fixed mixed workload; return (engine, observable trace).
+
+    The script mixes processes, awaited timeouts, bare (never-awaited)
+    timeouts, ``call_later`` timers and event wakes, with several events
+    landing at the same instant -- the FIFO tie-break is where a batched
+    kernel is most likely to diverge.
+    """
+    eng = Engine(kernel=kernel)
+    if hook_log is not None:
+        eng.trace_hook = lambda when, event: hook_log.append(
+            (when, type(event).__name__))
+    trace = []
+    gate = eng.event()
+
+    def ticker(tag, period, count):
+        for index in range(count):
+            yield eng.timeout(period)
+            trace.append((tag, index, eng.now))
+
+    def opener():
+        yield eng.timeout(3.0)
+        trace.append(("open", eng.now))
+        gate.succeed("opened")
+
+    def waiter(tag):
+        value = yield gate
+        trace.append((tag, value, eng.now))
+        yield eng.timeout(0.5)
+        trace.append((tag, "after", eng.now))
+
+    eng.process(ticker("a", 1.0, 6), name="a")
+    eng.process(ticker("b", 1.5, 4), name="b")
+    eng.process(opener(), name="opener")
+    for index in range(3):
+        eng.process(waiter(f"w{index}"), name=f"w{index}")
+    for delay in (2.0, 2.0, 2.0, 4.25):
+        eng.call_later(delay, lambda d=delay: trace.append(
+            ("timer", d, eng.now)))
+    eng.timeout(2.5)   # bare timeout: scheduled, never awaited
+    eng.timeout(10.0)  # bare timeout landing after everything else
+    eng.run()
+    return eng, trace
+
+
+class TestScriptedEquivalence:
+    def test_trace_identical_to_reference(self):
+        ref_eng, ref_trace = scripted_run("python")
+        assert ref_trace  # the script actually did something
+        for name in CANDIDATE_KERNELS:
+            eng, trace = scripted_run(name)
+            assert trace == ref_trace, f"kernel {name!r} diverged"
+            assert eng.now == ref_eng.now
+            assert eng.events_processed == ref_eng.events_processed
+
+    def test_trace_hook_sees_identical_dispatch_stream(self):
+        """With a hook installed every kernel must surface the exact same
+        (timestamp, event type) dispatch stream -- fast paths that elide
+        event objects must switch themselves off."""
+        ref_hook = []
+        scripted_run("python", hook_log=ref_hook)
+        assert ref_hook
+        for name in CANDIDATE_KERNELS:
+            hook = []
+            scripted_run(name, hook_log=hook)
+            assert hook == ref_hook, f"kernel {name!r} hook stream diverged"
+
+    def test_determinism_across_repeated_runs(self, kern):
+        eng_a, trace_a = scripted_run(kern)
+        eng_b, trace_b = scripted_run(kern)
+        assert trace_a == trace_b
+        assert eng_a.now == eng_b.now
+        assert eng_a.events_processed == eng_b.events_processed
+
+    def test_single_stepping_matches_run(self, kern):
+        """advance()/step() one event at a time reaches the same end state
+        as one run() call, with peek() honest at every step."""
+        ref_eng, ref_trace = scripted_run("python")
+        eng = Engine(kernel=kern)
+        trace = []
+        for delay in (3.0, 1.0, 2.0, 2.0, 1.0):
+            eng.call_later(delay, lambda d=delay: trace.append((d, eng.now)))
+        steps = 0
+        while eng.pending_events:
+            upcoming = eng.next_event_time
+            eng.step()
+            assert eng.now == upcoming
+            steps += 1
+        assert steps == 5
+        assert trace == [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0), (2.0, 2.0),
+                         (3.0, 3.0)]
+        assert eng.events_processed == 5
+
+
+class TestBasicSemantics:
+    def test_equal_time_events_fire_fifo(self, kern):
+        eng = Engine(kernel=kern)
+        order = []
+        for tag in range(8):
+            eng.call_later(1.0, order.append, tag)
+        eng.run()
+        assert order == list(range(8))
+
+    def test_time_went_backwards_detected_by_run(self, kern):
+        eng = Engine(kernel=kern)
+        eng.timeout(1.0)
+        eng.now = 5.0  # corrupt the clock past the scheduled event
+        with pytest.raises(SimulationError, match="backwards"):
+            eng.run()
+
+    def test_time_went_backwards_detected_by_step(self, kern):
+        eng = Engine(kernel=kern)
+        eng.timeout(1.0)
+        eng.now = 5.0
+        with pytest.raises(SimulationError, match="backwards"):
+            eng.step()
+
+    def test_step_on_empty_heap_raises(self, kern):
+        with pytest.raises(SimulationError, match="empty"):
+            Engine(kernel=kern).step()
+
+    def test_deadlock_detected_by_run_until(self, kern):
+        eng = Engine(kernel=kern)
+        ev = eng.event()  # never triggered
+
+        def waiter():
+            yield ev
+
+        with pytest.raises(SimulationError, match="deadlock|drained"):
+            eng.run_until(eng.process(waiter()))
+
+
+class TestClockLeaveSemantics:
+    def test_run_drains_and_keeps_last_event_time(self, kern):
+        eng = Engine(kernel=kern)
+        eng.timeout(2.0)
+        eng.run()
+        assert eng.now == 2.0
+        eng.run()  # empty heap: no-op
+        assert eng.now == 2.0
+
+    def test_run_until_horizon_reached_past_drain(self, kern):
+        eng = Engine(kernel=kern)
+        eng.timeout(1.0)
+        eng.run(until=7.0)
+        assert eng.now == 7.0
+
+    def test_run_never_rewinds_clock(self, kern):
+        eng = Engine(kernel=kern)
+        eng.timeout(5.0)
+        eng.run()
+        eng.run(until=2.0)
+        assert eng.now == 5.0
+        eng.run_to(2.0)
+        assert eng.now == 5.0
+
+    def test_run_stops_before_events_past_horizon(self, kern):
+        eng = Engine(kernel=kern)
+        seen = []
+        for delay in (1.0, 4.0, 4.0, 9.0):
+            eng.call_later(delay, seen.append, delay)
+        eng.run(until=4.0)
+        assert seen == [1.0, 4.0, 4.0]
+        assert eng.now == 4.0
+        assert eng.pending_events == 1
+
+    def test_run_to_matches_run_until_state(self, kern):
+        def build():
+            eng = Engine(kernel=kern)
+            seen = []
+            for delay in (1.0, 3.0, 3.0, 8.0):
+                eng.call_later(delay, seen.append, delay)
+            return eng, seen
+
+        a, seen_a = build()
+        a.run(until=3.0)
+        b, seen_b = build()
+        b.run_to(3.0)
+        assert a.now == b.now == 3.0
+        assert seen_a == seen_b == [1.0, 3.0, 3.0]
+        assert a.events_processed == b.events_processed
+
+    def test_run_until_leaves_clock_at_completion(self, kern):
+        eng = Engine(kernel=kern)
+
+        def worker():
+            yield eng.timeout(1.5)
+            return "done"
+
+        proc = eng.process(worker())
+        eng.timeout(9.0)  # later event must not be dispatched
+        assert eng.run_until(proc) == "done"
+        assert eng.now == 1.5
+        assert eng.pending_events == 1
+
+
+class TestSelection:
+    def test_default_is_the_reference_kernel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert kernel_name() == "python"
+        assert Engine().kernel_name == "python"
+
+    def test_environment_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "fast")
+        assert kernel_name() == "fast"
+        assert Engine().kernel_name == "fast"
+
+    def test_explicit_name_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "fast")
+        assert kernel_name("python") == "python"
+        assert Engine(kernel="python").kernel_name == "python"
+
+    def test_unknown_kernel_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            Engine(kernel="turbo")
+        monkeypatch.setenv("REPRO_KERNEL", "turbo")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            Engine()
+
+    def test_machine_config_selects_kernel(self):
+        machine = make_machine("noorder", kernel="fast")
+        assert machine.engine.kernel_name == "fast"
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: a full file-system workload per scheme, python vs candidate
+# ---------------------------------------------------------------------------
+
+def churn_run(scheme_name, kernel):
+    machine = make_machine(scheme_name, free_cpu=False, kernel=kernel)
+    run_user(machine, churn(machine)(), name="user0")
+    machine.sync_and_settle()
+    return machine
+
+
+@pytest.mark.parametrize("kernel", CANDIDATE_KERNELS)
+@pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+def test_full_workload_driver_trace_identical(scheme_name, kernel):
+    reference = churn_run(scheme_name, "python")
+    candidate = churn_run(scheme_name, kernel)
+    assert candidate.engine.events_processed == \
+        reference.engine.events_processed
+    assert candidate.engine.now == reference.engine.now
+    assert driver_trace_digest(candidate) == driver_trace_digest(reference)
