@@ -29,9 +29,11 @@ from repro.harness.parallel import (  # noqa: F401  (run_grid re-exported)
     default_jobs,
     run_grid,
 )
-from repro.harness.perflog import append_record
+from repro.harness.perflog import append_record, build_session_record
 from repro.harness.report import format_table
 from repro.harness.runner import FULL_CACHE_BYTES, scale_factor
+from repro.obs.observatory import append_ledger, snapshot_digest
+from repro.obs.profiler import format_profile_report
 from repro.sim import kernel_name
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -67,39 +69,47 @@ def pytest_sessionfinish(session, exitstatus):
     """Flush the session's grid statistics to the perf trajectory."""
     if not GRID_REPORTS:
         return
-    record = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "scale": SCALE,
-        "jobs": default_jobs(),
-        "kernel": kernel_name(),
-        "wall_seconds": round(sum(g.wall_seconds for g in GRID_REPORTS), 3),
-        "cell_wall_seconds": round(sum(g.cell_wall_total
-                                       for g in GRID_REPORTS), 3),
-        "sim_events": sum(g.sim_events for g in GRID_REPORTS),
-        "grids": [
-            {
-                "name": grid.name,
-                "jobs": grid.jobs,
-                "wall_seconds": round(grid.wall_seconds, 3),
-                "cell_wall_seconds": round(grid.cell_wall_total, 3),
-                "sim_events": grid.sim_events,
-                "cells": [
-                    {
-                        "key": cell.key,
-                        "wall_seconds": round(cell.wall_seconds, 3),
-                        "sim_events": cell.sim_events,
-                        "events_per_second": round(cell.events_per_second),
-                        **cell.extra,
-                    }
-                    for cell in grid.cells
-                ],
-            }
-            for grid in GRID_REPORTS
-        ],
-    }
+    record = build_session_record(
+        GRID_REPORTS, scale=SCALE, jobs=default_jobs(),
+        kernel=kernel_name(),
+        timestamp=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()))
     # keep the JSON trajectory bounded; older sessions rotate into
     # BENCH_perf.history.jsonl (see repro.harness.perflog)
     append_record(PERF_JSON, record)
+    append_ledger("grid", {
+        "scale": SCALE,
+        "jobs": default_jobs(),
+        "kernel": kernel_name(),
+        "grids": [grid.name for grid in GRID_REPORTS],
+        "cells": sum(len(grid.cells) for grid in GRID_REPORTS),
+        "wall_seconds": record["wall_seconds"],
+        "sim_events": record["sim_events"],
+        "events_per_second": round(record["sim_events"]
+                                   / max(record["cell_wall_seconds"], 1e-9)),
+        "snapshot_digest": snapshot_digest(record),
+        "exitstatus": int(exitstatus),
+    })
+
+    # profiled sessions (REPRO_PROFILE=1) additionally get the per-layer
+    # breakdown table; cells without profile.* extras are skipped, and an
+    # unprofiled session writes nothing
+    profile_cells = [(f"{grid.name} / {cell.key}", cell.wall_seconds,
+                      cell.extra)
+                     for grid in GRID_REPORTS for cell in grid.cells
+                     if any(key.startswith("profile.")
+                            for key in cell.extra)]
+    if profile_cells:
+        results_dir = pathlib.Path("results")
+        results_dir.mkdir(exist_ok=True)
+        profile_report = format_profile_report(
+            profile_cells,
+            title=f"Per-layer profile (scale={SCALE}, "
+                  f"kernel={kernel_name()}; sim self-time, "
+                  f"wall prorated)")
+        (results_dir / "profile_report.txt").write_text(
+            profile_report + "\n")
+        print()
+        print(profile_report)
 
     rows = []
     for grid in GRID_REPORTS:

@@ -13,15 +13,26 @@
     Runs the seeded disk-fault sweep across ordering schemes and writes
     ``results/fault_report.txt`` (see ``docs/fault-injection.md``).
     Exits nonzero only on silent corruption.
+
+``python -m repro.harness regress [options]``
+    Compares the freshest ``BENCH_perf.json`` session against the
+    stratified per-cell history and exits 1 on a significant regression
+    (see ``docs/performance.md``).
+
+Every subcommand appends one structured record to the run ledger
+(``results/ledger.jsonl`` unless ``REPRO_LEDGER`` redirects or disables
+it) so past invocations stay greppable across sessions.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.harness.report import format_table
+from repro.obs.observatory import append_ledger, snapshot_digest
 from repro.sim import KERNELS
 from repro.harness.runner import (
     FULL_CACHE_BYTES,
@@ -60,6 +71,8 @@ def compare_main(argv: list[str]) -> int:
     print(f"# 4-user copy/remove at scale {scale} "
           f"({tree.files} files, {tree.total_bytes / 1e6:.1f} MB per user)\n")
 
+    start = time.perf_counter()
+    benches = {}
     for title, runner in (("4-user copy", run_copy),
                           ("4-user remove", run_remove)):
         results = {}
@@ -75,6 +88,14 @@ def compare_main(argv: list[str]) -> int:
             ["Scheme", "Elapsed", "% of No Order", "CPU",
              "Disk requests", "I/O resp (ms)"], rows))
         print()
+        benches[title] = {name: round(r.elapsed, 3)
+                          for name, r in results.items()}
+    append_ledger("bench", {
+        "scale": scale,
+        "users": 4,
+        "wall_seconds": round(time.perf_counter() - start, 3),
+        "sim_elapsed": benches,
+    })
     return 0
 
 
@@ -102,6 +123,10 @@ def trace_main(argv: list[str]) -> int:
                         help="event-loop kernel (default: REPRO_KERNEL, "
                              "then the pure-python reference; the choice "
                              "never changes the simulation)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the per-layer counting profiler and "
+                             "print the layer breakdown (also writes "
+                             "<slug>.profile.txt next to the trace)")
     parser.add_argument("--out", default="results/traces",
                         help="output directory (default results/traces)")
     args = parser.parse_args(argv)
@@ -112,12 +137,16 @@ def trace_main(argv: list[str]) -> int:
     config = standard_scheme_config(scheme, cache_bytes=cache,
                                     kernel=args.kernel)
     config.observe = True
+    if args.profile:
+        config.profile = True
 
     captured = {}
     runner = run_copy if args.bench == "copy" else run_remove
     label = f"{args.bench} {scheme} scale={args.scale} users={args.users}"
+    start = time.perf_counter()
     result = runner(config, args.users, tree, label=label, seed=args.seed,
                     on_machine=lambda machine: captured.update(m=machine))
+    wall = time.perf_counter() - start
     machine = captured["m"]
 
     outdir = Path(args.out)
@@ -139,7 +168,30 @@ def trace_main(argv: list[str]) -> int:
               f"{100 * summary.coverage:.1f}% under named spans")
     print(f"  wrote {trace_path}")
     print(f"  wrote {flame_path}")
+    if args.profile:
+        from repro.obs import format_profile_report
+        report = format_profile_report(
+            [(label, wall, machine.obs.snapshot())], title=label)
+        profile_path = outdir / f"{slug}.profile.txt"
+        profile_path.write_text(report + "\n")
+        print()
+        print(report)
+        print(f"  wrote {profile_path}")
     print("  open the JSON in https://ui.perfetto.dev to browse the timeline")
+    append_ledger("trace", {
+        "bench": args.bench,
+        "scheme": scheme,
+        "scale": args.scale,
+        "users": args.users,
+        "kernel": machine.engine.kernel_name,
+        "wall_seconds": round(wall, 3),
+        "sim_seconds": round(result.elapsed, 3),
+        "sim_events": machine.engine.events_processed,
+        "events_per_second": round(machine.engine.events_processed
+                                   / max(wall, 1e-9)),
+        "snapshot_digest": snapshot_digest(machine.obs.snapshot()),
+        "profile": bool(args.profile),
+    })
     return 0
 
 
@@ -149,6 +201,9 @@ def main(argv: list[str]) -> int:
     if len(argv) > 1 and argv[1] == "faults":
         from repro.harness.faults import main as faults_main
         return faults_main(argv[2:])
+    if len(argv) > 1 and argv[1] == "regress":
+        from repro.harness.regress import main as regress_main
+        return regress_main(argv[2:])
     return compare_main(argv)
 
 

@@ -33,14 +33,18 @@ CLI::
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
+import time
 from dataclasses import dataclass, field
 
 from repro.faults import MediaError, PROFILES
+from repro.harness.parallel import run_grid
 from repro.integrity.explorer import SCHEMES, build_machine, explore
 from repro.integrity.fsck import fsck
 from repro.integrity.monitor import OrderingMonitor, monitor_supported
+from repro.obs.observatory import append_ledger
 from repro.sim import ProcessCrashed, SimulationError
 from repro.workloads.churn import churn_workload
 
@@ -286,7 +290,20 @@ def main(argv: list[str]) -> int:
                              "every cell (unexpected commit-time "
                              "violations count as damage)")
     parser.add_argument("--fsck-jobs", type=int, default=1,
-                        help="pFSCK pool size for each post-settle fsck")
+                        help="pFSCK pool size for each post-settle fsck "
+                             "(falls back to serial inside pool workers)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sweep cells in parallel over a fork pool "
+                             "(default REPRO_JOBS, then the core count)")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="progress line every SECONDS while cells are "
+                             "in flight (default REPRO_HEARTBEAT; 0 = off)")
+    parser.add_argument("--stall-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abort, naming the stuck (scheme, profile, "
+                             "seed) cell, once any cell is in flight this "
+                             "long (default REPRO_STALL_TIMEOUT; 0 = off)")
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--synthesize", dest="synthesize",
                       action="store_true", default=True,
@@ -313,34 +330,59 @@ def main(argv: list[str]) -> int:
             parser.error(f"unknown profile {name!r}; choose from "
                          f"{sorted(PROFILES)}")
 
-    cells = []
-    for scheme_name in schemes:
-        for profile in profiles:
-            for seed in seeds:
-                cell = run_cell(scheme_name, profile, seed, args.ops,
-                                explore_points=args.explore,
-                                synthesize=args.synthesize,
-                                monitor=args.monitor,
-                                fsck_jobs=args.fsck_jobs)
-                cells.append(cell)
-                extra = ""
-                if args.monitor and cell.monitor_state == "online":
-                    extra += (f" monitor={cell.monitor_violations}"
-                              f"/{cell.monitor_unexpected}-unexpected")
-                if args.explore:
-                    extra += (f" crash-explored={cell.crash_points} "
-                              f"[{cell.crash_mode or 'n/a'}] "
-                              f"unexpected={cell.crash_unexpected}")
-                print(f"{cell.scheme}/{cell.profile}/seed={cell.seed}: "
-                      f"{cell.verdict} (injected={cell.injected} "
-                      f"retries={cell.retries} remaps={cell.remaps})"
-                      f"{extra}")
+    # every (scheme, profile, seed) cell is independent -- fan them over
+    # the same fork-pool grid machinery as the benchmark tables, which
+    # buys the sweep heartbeats and stall detection for free.  Results
+    # come back keyed in input order, so the printed lines and the report
+    # are byte-identical to the old serial loop's.
+    grid_cells = [
+        ((scheme_name, profile, seed),
+         functools.partial(run_cell, scheme_name, profile, seed, args.ops,
+                           explore_points=args.explore,
+                           synthesize=args.synthesize,
+                           monitor=args.monitor,
+                           fsck_jobs=args.fsck_jobs))
+        for scheme_name in schemes
+        for profile in profiles
+        for seed in seeds]
+    start = time.perf_counter()
+    results = run_grid("faults", grid_cells, jobs=args.jobs,
+                       heartbeat=args.heartbeat, stall=args.stall_timeout)
+    cells = list(results.values())
+    for cell in cells:
+        extra = ""
+        if args.monitor and cell.monitor_state == "online":
+            extra += (f" monitor={cell.monitor_violations}"
+                      f"/{cell.monitor_unexpected}-unexpected")
+        if args.explore:
+            extra += (f" crash-explored={cell.crash_points} "
+                      f"[{cell.crash_mode or 'n/a'}] "
+                      f"unexpected={cell.crash_unexpected}")
+        print(f"{cell.scheme}/{cell.profile}/seed={cell.seed}: "
+              f"{cell.verdict} (injected={cell.injected} "
+              f"retries={cell.retries} remaps={cell.remaps})"
+              f"{extra}")
 
     report = format_report(cells, args.ops)
     os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as handle:
         handle.write(report)
     print(f"\nwrote {args.out}")
+
+    verdicts: dict = {}
+    for cell in cells:
+        verdicts[cell.verdict] = verdicts.get(cell.verdict, 0) + 1
+    append_ledger("faults", {
+        "schemes": schemes,
+        "profiles": profiles,
+        "seeds": seeds,
+        "ops": args.ops,
+        "cells": len(cells),
+        "verdicts": verdicts,
+        "explore": args.explore,
+        "monitor": bool(args.monitor),
+        "wall_seconds": round(time.perf_counter() - start, 3),
+    })
 
     failed = False
     for cell in cells:

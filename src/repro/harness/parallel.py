@@ -22,19 +22,32 @@ Every grid also records per-cell wall seconds and simulator events into
 ``BENCH_perf.json`` trajectory and ``benchmarks/results/perf_report.txt``
 at session end, so future performance work has a baseline to compare
 against.
+
+Long sweeps are no longer black boxes: the parallel path supports
+**heartbeats** (periodic one-line progress to stderr: cells done/total,
+ETA, the slowest in-flight cell) and **stall detection** (a cell in flight
+longer than the timeout aborts the grid with :class:`GridStallError`
+*naming* the stuck ``(scheme, config)`` key, instead of hanging forever).
+Both ride on a lock-free shared start-stamp array the forked workers
+inherit; neither touches results, so a heartbeat-monitored grid stays
+byte-identical to a silent one.  ``REPRO_HEARTBEAT`` / ``REPRO_STALL_TIMEOUT``
+(seconds; 0 disables) set session-wide defaults; :class:`Heartbeat` is
+reused by the crash explorer's verification pools.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-__all__ = ["Cell", "CellStats", "GridCellError", "GridReport", "GRID_REPORTS",
-           "default_jobs", "run_grid"]
+__all__ = ["Cell", "CellStats", "GridCellError", "GridReport",
+           "GRID_REPORTS", "GridStallError", "Heartbeat", "default_jobs",
+           "heartbeat_interval", "run_grid", "stall_timeout"]
 
 
 @dataclass
@@ -82,6 +95,117 @@ class GridReport:
         return sum(cell.sim_events for cell in self.cells)
 
 
+def _env_seconds(name: str) -> float:
+    """A non-negative float from the environment (unset/invalid -> 0)."""
+    try:
+        return max(0.0, float(os.environ.get(name, "") or 0.0))
+    except ValueError:
+        return 0.0
+
+
+def heartbeat_interval() -> float:
+    """Default heartbeat period in seconds (``REPRO_HEARTBEAT``; 0 = off)."""
+    return _env_seconds("REPRO_HEARTBEAT")
+
+
+def stall_timeout() -> float:
+    """Default stall timeout in seconds (``REPRO_STALL_TIMEOUT``; 0 = off)."""
+    return _env_seconds("REPRO_STALL_TIMEOUT")
+
+
+class GridStallError(RuntimeError):
+    """A cell stayed in flight past the stall timeout.
+
+    Raised in the parent while the pool is being torn down, naming the
+    stuck cell key -- the alternative is a sweep that hangs forever with
+    no clue which ``(scheme, config)`` cell wedged.
+    """
+
+    def __init__(self, grid: str, key: Any, age: float, timeout: float,
+                 done: int, total: int) -> None:
+        super().__init__(
+            f"{grid} cell {key!r} stalled: in flight for "
+            f"{age:.1f}s, past the {timeout:.1f}s stall timeout "
+            f"({done}/{total} cells had completed)")
+        self.grid = grid
+        self.key = key
+        self.age = age
+        self.timeout = timeout
+
+
+@dataclass
+class Heartbeat:
+    """Progress/stall monitor for one fork pool's result stream.
+
+    :meth:`drain` wraps a ``pool.imap_unordered`` iterator whose items
+    lead with the task index; between results it reads *starts* (a shared
+    ``'d'`` array the workers stamp with ``time.time()`` as they pick up a
+    task) to see what is in flight.  Pure observer: yields every item
+    unchanged, in arrival order.
+    """
+
+    name: str
+    labels: list
+    interval: float = 0.0
+    timeout: float = 0.0
+    emit: Optional[Callable[[str], None]] = None
+
+    @property
+    def active(self) -> bool:
+        return self.interval > 0.0 or self.timeout > 0.0
+
+    def _emit(self, line: str) -> None:
+        if self.emit is not None:
+            self.emit(line)
+        else:
+            print(line, file=sys.stderr, flush=True)
+
+    def drain(self, iterator, starts):
+        """Yield from *iterator*, heartbeating/stall-checking on gaps."""
+        total = len(self.labels)
+        candidates = [t for t in (self.interval, self.timeout) if t > 0.0]
+        poll = max(0.02, min(candidates) / 2) if candidates else None
+        begun = last_beat = time.time()
+        done = 0
+        finished: set[int] = set()
+        while done < total:
+            try:
+                item = iterator.next(timeout=poll)
+            except StopIteration:
+                return
+            except multiprocessing.TimeoutError:
+                now = time.time()
+                in_flight = sorted(
+                    ((now - starts[i], i) for i in range(total)
+                     if starts[i] > 0.0 and i not in finished),
+                    reverse=True)
+                if self.timeout > 0.0 and in_flight \
+                        and in_flight[0][0] > self.timeout:
+                    age, index = in_flight[0]
+                    raise GridStallError(self.name, self.labels[index],
+                                         age, self.timeout, done, total)
+                if self.interval > 0.0 and now - last_beat >= self.interval:
+                    last_beat = now
+                    self._emit(self._format(done, total, in_flight,
+                                            now - begun))
+                continue
+            finished.add(item[0])
+            done += 1
+            yield item
+
+    def _format(self, done: int, total: int, in_flight: list,
+                elapsed: float) -> str:
+        line = (f"[{self.name}] {done}/{total} cells done, "
+                f"{len(in_flight)} in flight, elapsed {elapsed:.1f}s")
+        if done:
+            eta = (total - done) * elapsed / done
+            line += f", eta ~{eta:.1f}s"
+        if in_flight:
+            age, index = in_flight[0]
+            line += f", slowest in-flight {self.labels[index]} ({age:.1f}s)"
+        return line
+
+
 class GridCellError(RuntimeError):
     """A grid cell's experiment raised.
 
@@ -119,9 +243,16 @@ GRID_REPORTS: list[GridReport] = []
 #: pattern -- closures over local state cannot cross a pickle boundary)
 _WORK: list[Cell] = []
 
+#: shared per-cell start stamps (host epoch seconds), written lock-free by
+#: whichever worker picks the cell up; 0.0 = not started yet.  Inherited
+#: by fork like _WORK.
+_STARTS = None
+
 
 def _run_cell(index: int):
     cell = _WORK[index]
+    if _STARTS is not None:
+        _STARTS[index] = time.time()
     start = time.perf_counter()
     try:
         result = cell.fn()
@@ -139,7 +270,10 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def run_grid(name: str, cells: list, jobs: Optional[int] = None) -> dict:
+def run_grid(name: str, cells: list, jobs: Optional[int] = None,
+             heartbeat: Optional[float] = None,
+             stall: Optional[float] = None,
+             on_heartbeat: Optional[Callable[[str], None]] = None) -> dict:
     """Run every cell; return ``{key: result}`` in input order.
 
     *cells* is a list of :class:`Cell` or ``(key, fn)`` pairs.  Runs
@@ -148,11 +282,22 @@ def run_grid(name: str, cells: list, jobs: Optional[int] = None) -> dict:
     otherwise fans out over a fork pool.  Either way the returned mapping
     and all recorded statistics are identical -- completion order never
     leaks into the results.
+
+    *heartbeat* emits a progress line (via *on_heartbeat*, default stderr)
+    every that-many seconds while cells are in flight; *stall* aborts with
+    :class:`GridStallError` naming the stuck cell once any single cell has
+    been in flight that long.  ``None`` defers to ``REPRO_HEARTBEAT`` /
+    ``REPRO_STALL_TIMEOUT``; both apply only to the fork-pool path (a
+    serial run cannot observe its own wedged cell from within).
     """
     cells = [cell if isinstance(cell, Cell) else Cell(*cell)
              for cell in cells]
     if jobs is None:
         jobs = default_jobs()
+    if heartbeat is None:
+        heartbeat = heartbeat_interval()
+    if stall is None:
+        stall = stall_timeout()
     methods = multiprocessing.get_all_start_methods()
     parallel = jobs > 1 and len(cells) > 1 and "fork" in methods
     report = GridReport(name=name, jobs=jobs if parallel else 1)
@@ -160,16 +305,27 @@ def run_grid(name: str, cells: list, jobs: Optional[int] = None) -> dict:
 
     outcomes: list = [None] * len(cells)
     if parallel:
-        global _WORK
+        global _WORK, _STARTS
+        monitor = Heartbeat(name=f"grid {name}",
+                            labels=[str(cell.key) for cell in cells],
+                            interval=heartbeat, timeout=stall,
+                            emit=on_heartbeat)
+        starts = multiprocessing.Array("d", len(cells), lock=False) \
+            if monitor.active else None
         previous, _WORK = _WORK, cells
+        previous_starts, _STARTS = _STARTS, starts
         try:
             context = multiprocessing.get_context("fork")
             with context.Pool(min(jobs, len(cells))) as pool:
-                for index, result, wall in pool.imap_unordered(
-                        _run_cell, range(len(cells)), chunksize=1):
+                results_iter = pool.imap_unordered(
+                    _run_cell, range(len(cells)), chunksize=1)
+                if monitor.active:
+                    results_iter = monitor.drain(results_iter, starts)
+                for index, result, wall in results_iter:
                     outcomes[index] = (result, wall)
         finally:
             _WORK = previous
+            _STARTS = previous_starts
     else:
         for index, cell in enumerate(cells):
             start = time.perf_counter()

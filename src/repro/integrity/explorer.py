@@ -74,7 +74,11 @@ from typing import Generator, Optional
 from repro.costs import CostModel
 from repro.faults import PROFILES
 from repro.fs.layout import FSGeometry
+from repro.harness.parallel import Heartbeat
+from repro.harness.parallel import heartbeat_interval as _env_heartbeat
+from repro.harness.parallel import stall_timeout as _env_stall
 from repro.harness.recording import RecordedRun, record_run
+from repro.obs.observatory import append_ledger
 from repro.integrity.crash import crash_image
 from repro.integrity.findings import CrashFinding, ExplorationReport
 from repro.integrity.fsck import fsck, repair
@@ -349,6 +353,12 @@ class _SynthContext:
 
 _SYNTH_CONTEXT: Optional[_SynthContext] = None
 
+#: the active chunk list + shared start stamps for the synthesis pool's
+#: heartbeat monitor (fork-inherited like the context; both None when the
+#: monitor is off or the platform cannot fork)
+_SYNTH_CHUNKS: Optional[list] = None
+_SYNTH_STARTS = None
+
 
 def _synth_init(context: _SynthContext) -> None:
     global _SYNTH_CONTEXT
@@ -375,6 +385,21 @@ def _verify_synth_chunk(chunk: list[CrashPoint]) -> list[CrashFinding]:
     return findings
 
 
+def _verify_synth_chunk_indexed(index: int):
+    """Pool task for the heartbeat path: stamp pickup, lead with index."""
+    if _SYNTH_STARTS is not None:
+        _SYNTH_STARTS[index] = time.time()
+    return index, _verify_synth_chunk(_SYNTH_CHUNKS[index])
+
+
+def _chunk_label(chunk: list) -> str:
+    """A heartbeat/stall label naming a chunk's crash-point range."""
+    if len(chunk) == 1:
+        return f"point #{chunk[0].index} ({chunk[0].label})"
+    return (f"points #{chunk[0].index}..#{chunk[-1].index} "
+            f"(t={chunk[0].time:.4f}..{chunk[-1].time:.4f})")
+
+
 def _chunk(points: list[CrashPoint], chunks: int) -> list[list[CrashPoint]]:
     """Split time-sorted points into at most *chunks* contiguous runs."""
     chunks = max(1, min(chunks, len(points)))
@@ -399,7 +424,10 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
             fault_seed: int = 0,
             synthesize: bool = True,
             monitor: bool = False,
-            fsck_jobs: int = 1) -> ExplorationReport:
+            fsck_jobs: int = 1,
+            heartbeat: Optional[float] = None,
+            stall_timeout: Optional[float] = None,
+            on_heartbeat=None) -> ExplorationReport:
     """Record once, enumerate, verify every crash point; returns the report.
 
     ``synthesize=True`` (the default) materializes each crash image from
@@ -423,6 +451,14 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
     per-cylinder-group pool; it is honoured only when the exploration
     itself is serial (``jobs == 1``), because daemonic pool workers
     cannot fork their own pools.
+
+    *heartbeat* / *stall_timeout* (seconds; ``None`` defers to
+    ``REPRO_HEARTBEAT`` / ``REPRO_STALL_TIMEOUT``, 0 disables) attach a
+    :class:`~repro.harness.parallel.Heartbeat` to the verification pool:
+    periodic progress lines (via *on_heartbeat*, default stderr) and a
+    :class:`~repro.harness.parallel.GridStallError` naming the wedged
+    crash-point chunk instead of a silent hang.  Pure observers -- the
+    findings are identical with or without them.
     """
     machine = build_machine(scheme, secrets=secrets,
                             fault_profile=fault_profile,
@@ -451,17 +487,24 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
     if points is None:
         points = enumerate_crash_points(recorded, samples_per_write,
                                         max_points, sample_seed=seed)
+    pulse = Heartbeat(
+        name=f"explore {scheme}/{workload} ({mode})", labels=[],
+        interval=_env_heartbeat() if heartbeat is None else heartbeat,
+        timeout=_env_stall() if stall_timeout is None else stall_timeout,
+        emit=on_heartbeat)
     verify_start = time.perf_counter()
     if mode == "synthesize":
         findings = _explore_synthesized(machine, recorded, points, jobs,
                                         secrets, verify_repair,
-                                        effective_fsck_jobs)
+                                        effective_fsck_jobs,
+                                        monitor=pulse)
         replays = 0
     else:
         findings = _explore_replayed(scheme, workload, seed, ops, secrets,
                                      verify_repair, points, jobs,
                                      fault_profile, fault_seed,
-                                     effective_fsck_jobs)
+                                     effective_fsck_jobs,
+                                     monitor=pulse)
         replays = len(points)
     verify_wall = time.perf_counter() - verify_start
     return ExplorationReport(
@@ -485,9 +528,11 @@ def explore(scheme: str, workload: str = "microbench", seed: int = 0,
 def _explore_synthesized(machine: Machine, recorded: RecordedRun,
                          points: list[CrashPoint], jobs: int,
                          secrets: bool, verify_repair: bool,
-                         fsck_jobs: int = 1) -> list[CrashFinding]:
+                         fsck_jobs: int = 1,
+                         monitor: Optional[Heartbeat] = None
+                         ) -> list[CrashFinding]:
     """Verify *points* from the media log: zero simulation replays."""
-    global _SYNTH_CONTEXT
+    global _SYNTH_CONTEXT, _SYNTH_CHUNKS, _SYNTH_STARTS
     context = _SynthContext(
         base=recorded.base_image, log=recorded.media_log,
         geometry=machine.config.fs_geometry, secrets=secrets,
@@ -498,7 +543,16 @@ def _explore_synthesized(machine: Machine, recorded: RecordedRun,
     if jobs > 1 and len(ordered) > 1:
         chunks = _chunk(ordered, jobs * 4)
         methods = multiprocessing.get_all_start_methods()
-        previous, _SYNTH_CONTEXT = _SYNTH_CONTEXT, context
+        monitored = monitor is not None and monitor.active \
+            and "fork" in methods
+        if monitored:
+            monitor.labels = [_chunk_label(chunk) for chunk in chunks]
+            starts = multiprocessing.Array("d", len(chunks), lock=False)
+        else:
+            starts = None
+        previous = (_SYNTH_CONTEXT, _SYNTH_CHUNKS, _SYNTH_STARTS)
+        _SYNTH_CONTEXT, _SYNTH_CHUNKS, _SYNTH_STARTS = \
+            context, chunks, starts
         try:
             if "fork" in methods:
                 # workers inherit base image + log by address space; only
@@ -511,19 +565,40 @@ def _explore_synthesized(machine: Machine, recorded: RecordedRun,
                                "initargs": (context,)}
             with pool_ctx.Pool(min(jobs, len(chunks)),
                                **pool_kwargs) as pool:
-                per_chunk = pool.map(_verify_synth_chunk, chunks,
-                                     chunksize=1)
+                if monitored:
+                    results_iter = monitor.drain(
+                        pool.imap_unordered(_verify_synth_chunk_indexed,
+                                            range(len(chunks)),
+                                            chunksize=1), starts)
+                    per_chunk = [chunk_findings for _index, chunk_findings
+                                 in results_iter]
+                else:
+                    per_chunk = pool.map(_verify_synth_chunk, chunks,
+                                         chunksize=1)
         finally:
-            _SYNTH_CONTEXT = previous
+            _SYNTH_CONTEXT, _SYNTH_CHUNKS, _SYNTH_STARTS = previous
         findings = [finding for chunk in per_chunk for finding in chunk]
     else:
-        previous, _SYNTH_CONTEXT = _SYNTH_CONTEXT, context
+        previous_ctx, _SYNTH_CONTEXT = _SYNTH_CONTEXT, context
         try:
             findings = _verify_synth_chunk(ordered)
         finally:
-            _SYNTH_CONTEXT = previous
+            _SYNTH_CONTEXT = previous_ctx
     findings.sort(key=lambda f: f.index)
     return findings
+
+
+#: the active replay task list + shared start stamps (fork-inherited),
+#: used only when a heartbeat monitor is attached
+_REPLAY_TASKS: Optional[list] = None
+_REPLAY_STARTS = None
+
+
+def _verify_point_indexed(index: int):
+    """Pool task for the heartbeat path: stamp pickup, lead with index."""
+    if _REPLAY_STARTS is not None:
+        _REPLAY_STARTS[index] = time.time()
+    return index, verify_crash_point(_REPLAY_TASKS[index])
 
 
 def _explore_replayed(scheme: str, workload: str, seed: int,
@@ -531,19 +606,43 @@ def _explore_replayed(scheme: str, workload: str, seed: int,
                       points: list[CrashPoint], jobs: int,
                       fault_profile: Optional[str],
                       fault_seed: int,
-                      fsck_jobs: int = 1) -> list[CrashFinding]:
+                      fsck_jobs: int = 1,
+                      monitor: Optional[Heartbeat] = None
+                      ) -> list[CrashFinding]:
     """The oracle: one full prefix replay per crash point."""
+    global _REPLAY_TASKS, _REPLAY_STARTS
     tasks = [_Task(scheme, workload, seed, ops, secrets, verify_repair,
                    point.index, point.time, point.label,
                    fault_profile, fault_seed, fsck_jobs)
              for point in points]
     if jobs > 1 and len(tasks) > 1:
         methods = multiprocessing.get_all_start_methods()
+        monitored = monitor is not None and monitor.active \
+            and "fork" in methods
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None)
         chunk = max(1, len(tasks) // (jobs * 4))
-        with context.Pool(jobs) as pool:
-            findings = pool.map(verify_crash_point, tasks, chunksize=chunk)
+        if monitored:
+            monitor.labels = [f"point #{task.index} ({task.label})"
+                              for task in tasks]
+            starts = multiprocessing.Array("d", len(tasks), lock=False)
+            previous = (_REPLAY_TASKS, _REPLAY_STARTS)
+            _REPLAY_TASKS, _REPLAY_STARTS = tasks, starts
+            try:
+                with context.Pool(jobs) as pool:
+                    findings = [None] * len(tasks)
+                    results_iter = monitor.drain(
+                        pool.imap_unordered(_verify_point_indexed,
+                                            range(len(tasks)),
+                                            chunksize=chunk), starts)
+                    for index, finding in results_iter:
+                        findings[index] = finding
+            finally:
+                _REPLAY_TASKS, _REPLAY_STARTS = previous
+        else:
+            with context.Pool(jobs) as pool:
+                findings = pool.map(verify_crash_point, tasks,
+                                    chunksize=chunk)
     else:
         findings = [verify_crash_point(task) for task in tasks]
     return findings
@@ -618,6 +717,16 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
                         help="attach the online ordering-rule monitor to "
                              "the recording run; unexpected online "
                              "violations fail the sweep")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="progress line every SECONDS during "
+                             "verification (default REPRO_HEARTBEAT; "
+                             "0 = off)")
+    parser.add_argument("--stall-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abort, naming the wedged crash-point chunk, "
+                             "once any pool task is in flight this long "
+                             "(default REPRO_STALL_TIMEOUT; 0 = off)")
     parser.add_argument("--samples-per-write", type=int, default=2,
                         help="mid-transfer partial-prefix points per write")
     parser.add_argument("--max-points", type=int, default=240,
@@ -694,11 +803,28 @@ def main(argv: Optional[list[str]] = None) -> int:
                      fault_seed=args.fault_seed,
                      synthesize=args.synthesize,
                      monitor=args.monitor,
-                     fsck_jobs=args.fsck_jobs)
+                     fsck_jobs=args.fsck_jobs,
+                     heartbeat=args.heartbeat,
+                     stall_timeout=args.stall_timeout)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.format())
+    append_ledger("explore", {
+        "scheme": args.scheme,
+        "workload": args.workload,
+        "seed": args.seed,
+        "mode": report.mode,
+        "jobs": args.jobs,
+        "points": report.points,
+        "enumerated": report.enumerated_points,
+        "unexpected": len(report.unexpected_findings),
+        "record_wall_seconds": round(report.record_wall_seconds, 3),
+        "verify_wall_seconds": round(report.verify_wall_seconds, 3),
+        "points_per_second": round(report.points_per_second, 1),
+        "sim_events": report.sim_events,
+        "exit_status": report.exit_status,
+    })
     return report.exit_status
 
 

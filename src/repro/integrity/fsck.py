@@ -602,9 +602,10 @@ def fsck(image: SectorStore, geometry: FSGeometry | None = None,
 
     ``jobs > 1`` fans the per-cylinder-group scans over a process pool
     (pFSCK-style); the finding lists are byte-identical to the serial
-    audit's.  Note pool workers are daemonic, so ``jobs > 1`` cannot be
-    used from inside another ``multiprocessing`` worker (e.g. the
-    explorer's verification pool).
+    audit's.  Pool workers are daemonic and cannot have children, so when
+    this is called from inside another ``multiprocessing`` worker (the
+    explorer's verification pool, a fault-sweep grid cell) ``jobs > 1``
+    silently degrades to the serial audit -- same report, one process.
     """
     geometry = geometry or FSGeometry()
     spf = geometry.frag_size // image.geometry.sector_size
@@ -616,7 +617,8 @@ def fsck(image: SectorStore, geometry: FSGeometry | None = None,
         report.errors.append(f"superblock unreadable: {exc}")
         return report
     geo = superblock.geometry
-    if jobs > 1 and geo.ncg > 1:
+    if jobs > 1 and geo.ncg > 1 \
+            and not multiprocessing.current_process().daemon:
         return _fsck_parallel(image, geo, jobs)
     checker = _Checker(image, geo)
     checker.scan_inodes()

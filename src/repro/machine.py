@@ -18,6 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
@@ -70,6 +71,12 @@ class MachineConfig:
     #: traced run is simulation-identical to an untraced one, just slower
     #: on the host)
     observe: bool = False
+    #: attach the per-layer counting profiler (implies ``observe``;
+    #: defaults to the ``REPRO_PROFILE`` environment variable so whole
+    #: benchmark grids can be profiled without touching code -- profiled
+    #: runs are simulation-identical, tests/obs/test_profiler.py)
+    profile: bool = field(
+        default_factory=lambda: bool(os.environ.get("REPRO_PROFILE")))
     #: make the disk unreliable (None = the perfect disk; a plan with all
     #: rates zero is byte-identical to None -- tests/faults proves it)
     faults: Optional[FaultPlan] = None
@@ -89,8 +96,9 @@ class Machine:
         self.engine = Engine(kernel=cfg.kernel)
         # observability is installed before any component is built so each
         # one can capture its instruments (or None) exactly once
-        self.obs = Observability(self.engine).attach(self.engine) \
-            if cfg.observe else None
+        self.obs = Observability(self.engine,
+                                 profile=cfg.profile).attach(self.engine) \
+            if (cfg.observe or cfg.profile) else None
         self.cpu = CPU(self.engine)
         self.costs = cfg.costs
         self.disk = Disk(self.engine, geometry=cfg.disk_geometry,

@@ -21,6 +21,20 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.flame import category_totals, coverage, flame_summary, summarize
+from repro.obs.observatory import (
+    append_ledger,
+    host_facts,
+    ledger_path,
+    read_ledger,
+    snapshot_digest,
+)
+from repro.obs.profiler import (
+    CATEGORY_LAYER,
+    LAYERS,
+    LayerProfiler,
+    format_profile_report,
+    profile_rows,
+)
 from repro.obs.registry import (
     TIME_BUCKETS,
     Counter,
@@ -32,9 +46,12 @@ from repro.obs.session import Observability
 from repro.obs.tracer import NULL_SPAN, Span, Tracer
 
 __all__ = [
+    "CATEGORY_LAYER",
     "Counter",
     "Gauge",
     "Histogram",
+    "LAYERS",
+    "LayerProfiler",
     "MetricsRegistry",
     "NULL_SPAN",
     "Observability",
@@ -42,9 +59,16 @@ __all__ = [
     "TIME_BUCKETS",
     "TraceFormatError",
     "Tracer",
+    "append_ledger",
     "category_totals",
     "coverage",
     "flame_summary",
+    "format_profile_report",
+    "host_facts",
+    "ledger_path",
+    "profile_rows",
+    "read_ledger",
+    "snapshot_digest",
     "summarize",
     "trace_events",
     "validate_trace_events",

@@ -123,6 +123,14 @@ def flame_summary(obs: "Observability", label: str = "",
     lines.append(title)
     lines.append("=" * len(title))
     lines.append("")
+    dropped = getattr(obs.tracer, "dropped", 0)
+    if dropped:
+        lines.append(f"WARNING: {dropped} spans dropped at the "
+                     f"{obs.tracer.max_spans}-span cap -- totals below "
+                     f"undercount (raise REPRO_TRACE_MAX_SPANS, or rely "
+                     f"on the profile.* metrics, which keep counting "
+                     f"past the cap)")
+        lines.append("")
     lines.append("Category totals (simulated seconds):")
     for cat, (total, count) in sorted(category_totals(obs).items(),
                                       key=lambda kv: -kv[1][0]):

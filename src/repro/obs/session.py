@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from typing import Optional
+
+from repro.obs.profiler import LayerProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 
@@ -19,14 +22,27 @@ if TYPE_CHECKING:
 
 
 class Observability:
-    """Tracing + metrics for one simulated machine."""
+    """Tracing + metrics for one simulated machine.
 
-    def __init__(self, engine: "Engine") -> None:
+    *max_spans* bounds tracer memory (None = ``REPRO_TRACE_MAX_SPANS`` /
+    the module default; drops are counted in ``tracer.spans_dropped``).
+    *profile* attaches the per-layer :class:`LayerProfiler`, whose
+    ``profile.<layer>.*`` counters ride every snapshot.
+    """
+
+    def __init__(self, engine: "Engine", max_spans: Optional[int] = None,
+                 profile: bool = False) -> None:
         self.engine = engine
-        self.tracer = Tracer(engine)
+        self.tracer = Tracer(engine, max_spans=max_spans)
         self.registry = MetricsRegistry()
         self._events = self.registry.counter("engine.events")
         self._heap_peak = self.registry.gauge("engine.heap_peak")
+        self.tracer.dropped_counter = \
+            self.registry.counter("tracer.spans_dropped")
+        self.profiler = None
+        if profile:
+            self.profiler = LayerProfiler(self.registry)
+            self.tracer.profiler = self.profiler
 
     def attach(self, engine: "Engine") -> "Observability":
         """Install on *engine*: components built afterwards see it, and the

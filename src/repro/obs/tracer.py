@@ -17,10 +17,20 @@ nest properly within their track; overlapping intervals -- driver queue
 residencies, in-flight writes -- are recorded as *async* spans
 (:meth:`Tracer.record_async`), which the Perfetto exporter emits as ``b``/
 ``e`` event pairs keyed by id instead of complete events.
+
+Memory is bounded: the span list stops growing at ``max_spans`` (default
+:data:`DEFAULT_MAX_SPANS`, overridable via ``REPRO_TRACE_MAX_SPANS`` or the
+constructor).  Past the cap, spans still *behave* normally -- ids advance,
+nesting stacks stay consistent, the per-layer profiler keeps counting --
+but they are not retained; ``Tracer.dropped`` counts them (mirrored into
+the ``tracer.spans_dropped`` metric and flagged by the flame summary), so
+always-on tracing over million-event sweeps degrades to a warning instead
+of exhausting RAM.
 """
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:
@@ -29,6 +39,24 @@ if TYPE_CHECKING:
 #: track used when no simulated process is current (driver completions,
 #: engine callbacks)
 KERNEL_TRACK = "kernel"
+
+#: retained-span ceiling when neither the constructor nor the
+#: ``REPRO_TRACE_MAX_SPANS`` environment variable says otherwise (a span
+#: is ~200 bytes; 1M spans keeps worst-case tracer memory in the
+#: hundreds of MB, far below a million-event distributed sweep's output)
+DEFAULT_MAX_SPANS = 1_000_000
+
+
+def default_max_spans() -> int:
+    """The span cap: ``REPRO_TRACE_MAX_SPANS`` or the module default
+    (0 or a negative value disables the cap entirely)."""
+    env = os.environ.get("REPRO_TRACE_MAX_SPANS")
+    if env is None:
+        return DEFAULT_MAX_SPANS
+    try:
+        return int(env)
+    except ValueError:
+        return DEFAULT_MAX_SPANS
 
 
 class Span:
@@ -99,12 +127,34 @@ NULL_SPAN = _NullSpanHandle()
 class Tracer:
     """Collects spans against one engine's simulated clock."""
 
-    def __init__(self, engine: "Engine") -> None:
+    def __init__(self, engine: "Engine",
+                 max_spans: Optional[int] = None) -> None:
         self.engine = engine
         self.spans: list[Span] = []
         self._next_id = 0
         #: per-track stacks of currently open sync spans
         self._stacks: dict[str, list[Span]] = {}
+        #: retained-span ceiling; <= 0 means unbounded
+        self.max_spans = default_max_spans() if max_spans is None \
+            else max_spans
+        #: spans not retained because the cap was hit
+        self.dropped = 0
+        #: optional metrics Counter mirroring ``dropped`` (wired by
+        #: :class:`~repro.obs.session.Observability`)
+        self.dropped_counter = None
+        #: optional :class:`~repro.obs.profiler.LayerProfiler`, called as
+        #: every span closes -- including spans the cap dropped, so the
+        #: layer attribution stays exact past the cap
+        self.profiler = None
+
+    def _retain(self, span: Span) -> None:
+        """Append *span* unless the cap is hit (then count the drop)."""
+        if self.max_spans > 0 and len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            if self.dropped_counter is not None:
+                self.dropped_counter.inc()
+            return
+        self.spans.append(span)
 
     # -- track resolution ----------------------------------------------
     def _track(self, track: Optional[str]) -> str:
@@ -134,7 +184,7 @@ class Tracer:
         span = Span(self._next_id, name, cat, track, self.engine.now,
                     parent, args)
         stack.append(span)
-        self.spans.append(span)
+        self._retain(span)
         return span
 
     def end(self, span: Span, args: Optional[dict] = None) -> Span:
@@ -143,6 +193,7 @@ class Tracer:
         if args:
             span.args = {**(span.args or {}), **args}
         stack = self._stacks.get(span.track)
+        profiler = self.profiler
         if stack and span in stack:
             # close any children left open (crash/exception unwind)
             while stack:
@@ -151,6 +202,10 @@ class Tracer:
                     break
                 if not top.closed:
                     top.end = self.engine.now
+                    if profiler is not None:
+                        profiler.close(top)
+        if profiler is not None:
+            profiler.close(span)
         return span
 
     def span(self, name: str, cat: str, track: Optional[str] = None,
@@ -172,7 +227,9 @@ class Tracer:
         self._next_id += 1
         span = Span(self._next_id, name, cat, track, start, parent, args)
         span.end = end
-        self.spans.append(span)
+        self._retain(span)
+        if self.profiler is not None:
+            self.profiler.close(span)
         return span
 
     def record_async(self, name: str, cat: str, start: float, end: float,
@@ -186,7 +243,9 @@ class Tracer:
         span = Span(self._next_id, name, cat, track, start, parent, args,
                     async_id=async_id)
         span.end = end
-        self.spans.append(span)
+        self._retain(span)
+        if self.profiler is not None:
+            self.profiler.close(span)
         return span
 
     # -- introspection ---------------------------------------------------

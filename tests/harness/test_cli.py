@@ -1,13 +1,16 @@
 """Smoke test for the ``python -m repro.harness`` entry point."""
 
+import os
 import subprocess
 import sys
 
 
 def test_cli_prints_both_tables():
+    # keep the smoke run out of the real run ledger
+    env = {**os.environ, "REPRO_LEDGER": "off"}
     completed = subprocess.run(
         [sys.executable, "-m", "repro.harness", "0.02"],
-        capture_output=True, text=True, timeout=600)
+        capture_output=True, text=True, timeout=600, env=env)
     assert completed.returncode == 0, completed.stderr[-500:]
     out = completed.stdout
     assert "4-user copy" in out

@@ -1,0 +1,124 @@
+"""Sweep telemetry: heartbeat progress lines and stall detection on the
+fork-pool grid, and their pure-observer contract (identical results)."""
+
+import functools
+import time
+
+import pytest
+
+from repro.harness.parallel import (
+    GridStallError,
+    Heartbeat,
+    heartbeat_interval,
+    run_grid,
+    stall_timeout,
+)
+
+
+def quick_cell(value):
+    return value * 2
+
+
+def dawdle_cell(value, seconds):
+    time.sleep(seconds)
+    return value * 2
+
+
+def wedge_cell(value, key):
+    if value == key:
+        time.sleep(30.0)
+    return value * 2
+
+
+class TestEnvDefaults:
+    def test_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HEARTBEAT", raising=False)
+        monkeypatch.delenv("REPRO_STALL_TIMEOUT", raising=False)
+        assert heartbeat_interval() == 0.0
+        assert stall_timeout() == 0.0
+
+    def test_seconds_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT", "2.5")
+        monkeypatch.setenv("REPRO_STALL_TIMEOUT", "60")
+        assert heartbeat_interval() == 2.5
+        assert stall_timeout() == 60.0
+
+    def test_garbage_and_negatives_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT", "soon")
+        monkeypatch.setenv("REPRO_STALL_TIMEOUT", "-3")
+        assert heartbeat_interval() == 0.0
+        assert stall_timeout() == 0.0
+
+    def test_inactive_monitor(self):
+        assert not Heartbeat(name="g", labels=[]).active
+        assert Heartbeat(name="g", labels=[], interval=0.1).active
+        assert Heartbeat(name="g", labels=[], timeout=5.0).active
+
+
+class TestHeartbeat:
+    def test_progress_lines_emitted(self):
+        lines = []
+        cells = [(i, functools.partial(dawdle_cell, i, 0.25))
+                 for i in range(4)]
+        results = run_grid("pulse", cells, jobs=2, heartbeat=0.05,
+                           on_heartbeat=lines.append)
+        assert results == {i: i * 2 for i in range(4)}
+        assert lines
+        assert all(line.startswith("[grid pulse]") for line in lines)
+        assert any("in flight" in line for line in lines)
+        assert any("eta" in line or "0/4" in line for line in lines)
+
+    def test_monitored_results_identical_to_silent(self):
+        cells = [((i, "cfg"), functools.partial(quick_cell, i))
+                 for i in range(6)]
+        silent = run_grid("silent", cells, jobs=2)
+        monitored = run_grid("monitored", cells, jobs=2, heartbeat=0.01,
+                             stall=60.0, on_heartbeat=lambda line: None)
+        assert monitored == silent
+
+    def test_serial_path_ignores_heartbeat(self):
+        lines = []
+        cells = [(i, functools.partial(quick_cell, i)) for i in range(3)]
+        results = run_grid("serial", cells, jobs=1, heartbeat=0.001,
+                           on_heartbeat=lines.append)
+        assert results == {i: i * 2 for i in range(3)}
+        assert lines == []
+
+
+class TestStallDetection:
+    def test_wedged_cell_named_and_aborts(self):
+        """One worker wedges; the sweep aborts promptly, naming the stuck
+        (scheme, config) key instead of hanging forever."""
+        keys = [("softupdates", "mixed", i) for i in range(4)]
+        wedged = keys[2]
+        cells = [(key, functools.partial(wedge_cell, key, wedged))
+                 for key in keys]
+        begun = time.time()
+        with pytest.raises(GridStallError) as excinfo:
+            run_grid("wedge", cells, jobs=2, stall=0.5)
+        assert time.time() - begun < 10.0
+        error = excinfo.value
+        assert error.key == str(wedged)
+        assert str(wedged) in str(error)
+        assert "stalled" in str(error)
+        assert error.timeout == 0.5
+
+    def test_slow_but_moving_grid_survives(self):
+        cells = [(i, functools.partial(dawdle_cell, i, 0.1))
+                 for i in range(4)]
+        results = run_grid("slow", cells, jobs=2, stall=5.0)
+        assert results == {i: i * 2 for i in range(4)}
+
+
+class TestExplorerHeartbeat:
+    @pytest.mark.slow
+    def test_monitored_sweep_matches_silent(self):
+        from repro.integrity.explorer import explore
+        silent = explore("softupdates", "microbench", seed=3, ops=4,
+                         jobs=2, max_points=12)
+        monitored = explore("softupdates", "microbench", seed=3, ops=4,
+                            jobs=2, max_points=12, heartbeat=0.001,
+                            stall_timeout=120.0,
+                            on_heartbeat=lambda line: None)
+        assert monitored.findings == silent.findings
+        assert monitored.points == silent.points
