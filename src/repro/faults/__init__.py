@@ -105,7 +105,8 @@ class FaultEvent:
 
     time: float
     kind: str        # inject / retry / remap / redirty / requeue /
-    #                # read_eio / lost_write / sync_write_failed
+    #                # read_eio / lost_write / sync_write_failed /
+    #                # journal_degraded
     detail: str
 
 
@@ -220,7 +221,8 @@ class FaultInjector:
     def degradations(self) -> list[FaultEvent]:
         """Events where a failure became visible above the driver."""
         visible = {"read_eio", "lost_write", "requeue", "redirty",
-                   "sync_write_failed", "op_failed", "wedged"}
+                   "sync_write_failed", "op_failed", "wedged",
+                   "journal_degraded"}
         return [event for event in self.events if event.kind in visible]
 
     def _bad_in_range(self, lbn: int, nsectors: int) -> Optional[int]:

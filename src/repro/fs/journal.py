@@ -1,0 +1,291 @@
+"""On-disk write-ahead metadata journal: codec, scan, and replay.
+
+The journal lives in the fragment run ``[journal_start, journal_start +
+journal_frags)`` reserved by :class:`~repro.fs.layout.FSGeometry`.  The
+first fragment is the **header** (durable tail of the circular log); the
+rest is the **log**, addressed by position ``p`` at fragment
+``journal_start + 1 + p``.
+
+One transaction is a contiguous record::
+
+    descriptor frag | image payload frags ... | commit frag
+
+* The descriptor carries a monotonically increasing sequence number and a
+  list of entries: ``IMAGE`` (a metadata block image follows in the
+  payload, destined for home fragment ``daddr``) or ``REVOKE`` (the run
+  ``daddr..daddr+nfrags`` was freed -- images of it from this or any
+  earlier transaction must not be replayed).
+* The commit frag repeats the sequence number and a CRC-32 over the
+  descriptor and payload bytes, so a torn or reordered record can never
+  masquerade as committed.
+* A record that would cross the log end skips to position 0 (the scanner
+  mirrors the skip); sequence numbers never repeat, so stale records from
+  an earlier lap can never be mistaken for the current one.
+
+Recovery is a single forward scan from the durable tail: every
+checksum-valid transaction in unbroken sequence order contributes its
+images to an *overlay* (newest image of a fragment wins, revoked
+fragments drop out); the crash image plus the overlay is the recovered
+state.  ``repro.integrity.fsck`` checks that recovered state,
+``repro.integrity.monitor`` tracks it online, and
+:class:`repro.ordering.journal.JournalScheme` writes it.
+
+Everything here is pure bytes-in/bytes-out: callers supply a
+``read_frag(daddr, nfrags) -> bytes`` function, so the same scan serves
+the live scheme (sector store), fsck (crash images), and the monitor
+(its shadow image).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.fs.layout import FSGeometry
+
+J_HEADER_MAGIC = 0x4A524E48  # "JRNH"
+J_DESC_MAGIC = 0x4A524E44    # "JRND"
+J_COMMIT_MAGIC = 0x4A524E43  # "JRNC"
+
+_HEADER_FMT = "<IIII"        # magic, version, tail_seq, tail_pos
+_DESC_FMT = "<III"           # magic, seq, nentries
+_ENTRY_FMT = "<II"           # daddr, kind << 24 | nfrags
+_COMMIT_FMT = "<III"         # magic, seq, checksum
+_VERSION = 1
+
+IMAGE = 1
+REVOKE = 2
+
+#: entries one descriptor fragment can carry
+def max_entries(frag_size: int) -> int:
+    return (frag_size - struct.calcsize(_DESC_FMT)) // struct.calcsize(
+        _ENTRY_FMT)
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One descriptor entry: an image destined for home, or a revoked run."""
+
+    kind: int
+    daddr: int
+    nfrags: int
+
+
+@dataclass
+class Transaction:
+    """A parsed, checksum-valid transaction."""
+
+    seq: int
+    pos: int
+    entries: list[Entry]
+    extent: int
+
+
+@dataclass
+class ScanResult:
+    """What a forward scan of the journal recovered."""
+
+    #: recovered state: home fragment daddr -> committed image bytes
+    overlay: dict[int, bytes] = field(default_factory=dict)
+    #: home fragments named by a valid but *uncommitted* trailing
+    #: descriptor (the transaction in flight when the image was taken)
+    open_frags: frozenset[int] = frozenset()
+    #: committed transactions applied, in sequence order
+    transactions: list[Transaction] = field(default_factory=list)
+    #: where the next record would begin (sequence, log position)
+    head_seq: int = 0
+    head_pos: int = 0
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+def header_bytes(frag_size: int, tail_seq: int, tail_pos: int) -> bytes:
+    raw = struct.pack(_HEADER_FMT, J_HEADER_MAGIC, _VERSION, tail_seq,
+                      tail_pos)
+    return raw + bytes(frag_size - len(raw))
+
+
+def parse_header(raw: bytes) -> Optional[tuple[int, int]]:
+    """(tail_seq, tail_pos), or None if the header is unreadable."""
+    try:
+        magic, version, tail_seq, tail_pos = struct.unpack_from(
+            _HEADER_FMT, raw)
+    except struct.error:
+        return None
+    if magic != J_HEADER_MAGIC or version != _VERSION:
+        return None
+    return tail_seq, tail_pos
+
+
+def descriptor_bytes(frag_size: int, seq: int,
+                     entries: Iterable[Entry]) -> bytes:
+    entries = list(entries)
+    if len(entries) > max_entries(frag_size):
+        raise ValueError(f"{len(entries)} entries exceed one descriptor")
+    raw = bytearray(struct.pack(_DESC_FMT, J_DESC_MAGIC, seq, len(entries)))
+    for entry in entries:
+        if not (1 <= entry.nfrags < (1 << 24)):
+            raise ValueError(f"bad entry run length {entry.nfrags}")
+        raw += struct.pack(_ENTRY_FMT, entry.daddr,
+                           (entry.kind << 24) | entry.nfrags)
+    return bytes(raw) + bytes(frag_size - len(raw))
+
+
+def parse_descriptor(raw: bytes, expect_seq: int) -> Optional[list[Entry]]:
+    """Entries of a descriptor frag carrying *expect_seq*, else None."""
+    try:
+        magic, seq, nentries = struct.unpack_from(_DESC_FMT, raw)
+    except struct.error:
+        return None
+    if magic != J_DESC_MAGIC or seq != expect_seq:
+        return None
+    if nentries > max_entries(len(raw)):
+        return None
+    entries = []
+    at = struct.calcsize(_DESC_FMT)
+    for _ in range(nentries):
+        daddr, word = struct.unpack_from(_ENTRY_FMT, raw, at)
+        at += struct.calcsize(_ENTRY_FMT)
+        kind = word >> 24
+        nfrags = word & 0xFFFFFF
+        if kind not in (IMAGE, REVOKE) or nfrags == 0:
+            return None
+        entries.append(Entry(kind, daddr, nfrags))
+    return entries
+
+
+def txn_checksum(desc_raw: bytes, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(desc_raw))
+
+
+def commit_bytes(frag_size: int, seq: int, checksum: int) -> bytes:
+    raw = struct.pack(_COMMIT_FMT, J_COMMIT_MAGIC, seq, checksum)
+    return raw + bytes(frag_size - len(raw))
+
+
+def commit_valid(raw: bytes, expect_seq: int, checksum: int) -> bool:
+    try:
+        magic, seq, stored = struct.unpack_from(_COMMIT_FMT, raw)
+    except struct.error:
+        return False
+    return (magic == J_COMMIT_MAGIC and seq == expect_seq
+            and stored == checksum)
+
+
+def record_extent(entries: Iterable[Entry]) -> int:
+    """Fragments one record occupies: descriptor + images + commit."""
+    return 2 + sum(e.nfrags for e in entries if e.kind == IMAGE)
+
+
+# ----------------------------------------------------------------------
+# scan / replay
+# ----------------------------------------------------------------------
+ReadFrag = Callable[[int, int], bytes]
+
+
+def scan_journal(read_frag: ReadFrag, geometry: FSGeometry) -> ScanResult:
+    """Forward-scan the journal; returns the recovered overlay.
+
+    Defensive throughout: anything unparseable simply ends the committed
+    region (a crash can leave arbitrary torn bytes at the head).
+    """
+    result = ScanResult()
+    if not geometry.journal_frags:
+        return result
+    log_frags = geometry.journal_frags - 1
+    base = geometry.journal_start + 1
+    header = parse_header(read_frag(geometry.journal_start, 1))
+    if header is None:
+        return result
+    seq, pos = header
+    if not (0 <= pos < log_frags):
+        return result
+    overlay = result.overlay
+    while True:
+        txn = _txn_at(read_frag, base, log_frags, pos, seq)
+        if txn is None and pos != 0:
+            txn = _txn_at(read_frag, base, log_frags, 0, seq)
+        if txn is None:
+            break
+        pos = txn.pos
+        for entry in txn.entries:
+            if entry.kind == REVOKE:
+                for frag in range(entry.daddr, entry.daddr + entry.nfrags):
+                    overlay.pop(frag, None)
+        at = pos + 1
+        frag_size = geometry.frag_size
+        for entry in txn.entries:
+            if entry.kind != IMAGE:
+                continue
+            data = read_frag(base + at, entry.nfrags)
+            for i in range(entry.nfrags):
+                overlay[entry.daddr + i] = bytes(
+                    data[i * frag_size:(i + 1) * frag_size])
+            at += entry.nfrags
+        result.transactions.append(txn)
+        pos += txn.extent
+        if pos >= log_frags:
+            pos = 0
+        seq += 1
+    result.head_seq = seq
+    result.head_pos = pos
+    result.open_frags = _open_frags(read_frag, base, log_frags, pos, seq)
+    return result
+
+
+def _txn_at(read_frag: ReadFrag, base: int, log_frags: int, pos: int,
+            seq: int) -> Optional[Transaction]:
+    """The committed transaction *seq* at log position *pos*, else None."""
+    desc_raw = read_frag(base + pos, 1)
+    entries = parse_descriptor(desc_raw, seq)
+    if entries is None:
+        return None
+    extent = record_extent(entries)
+    if pos + extent > log_frags:
+        return None  # the writer would have skipped to 0 instead
+    payload_frags = extent - 2
+    payload = read_frag(base + pos + 1, payload_frags) if payload_frags \
+        else b""
+    commit_raw = read_frag(base + pos + extent - 1, 1)
+    if not commit_valid(commit_raw, seq, txn_checksum(desc_raw, payload)):
+        return None
+    return Transaction(seq=seq, pos=pos, entries=entries, extent=extent)
+
+
+def _open_frags(read_frag: ReadFrag, base: int, log_frags: int, pos: int,
+                seq: int) -> frozenset[int]:
+    """Home frags of the in-flight (descriptor-only) record at the head."""
+    for candidate in ((pos,) if pos == 0 else (pos, 0)):
+        entries = parse_descriptor(read_frag(base + candidate, 1), seq)
+        if entries is None:
+            continue
+        if candidate + record_extent(entries) > log_frags:
+            continue
+        frags: set[int] = set()
+        for entry in entries:
+            if entry.kind == IMAGE:
+                frags.update(range(entry.daddr, entry.daddr + entry.nfrags))
+        return frozenset(frags)
+    return frozenset()
+
+
+def replay_into(read_frag: ReadFrag,
+                write_frag: Callable[[int, bytes], None],
+                geometry: FSGeometry) -> ScanResult:
+    """Physically apply the recovered overlay and retire the whole log.
+
+    The header is rewritten with the tail *past* the head sequence, so a
+    later scan (or a remount) finds an empty log -- replay is a one-shot.
+    """
+    result = scan_journal(read_frag, geometry)
+    if not geometry.journal_frags:
+        return result
+    for frag in sorted(result.overlay):
+        write_frag(frag, result.overlay[frag])
+    write_frag(geometry.journal_start,
+               header_bytes(geometry.frag_size, result.head_seq + 1,
+                            result.head_pos))
+    return result

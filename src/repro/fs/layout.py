@@ -7,6 +7,7 @@ Disk addresses (``daddr``) are in *fragments*, FFS-style.  The layout is::
     cylinder group 0
     cylinder group 1
     ...
+    journal area (``journal_frags`` fragments; 0 unless mkfs reserved one)
 
 and each cylinder group is::
 
@@ -21,7 +22,7 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 class FileType(enum.IntEnum):
@@ -63,6 +64,9 @@ class FSGeometry:
     #: number of cylinder groups (12 x ~17 MB ~= 200 MB: comfortable
     #: headroom for the paper-scale 4-user copy, ~120 MB of data)
     ncg: int = 12
+    #: fragments reserved after the last cylinder group for a write-ahead
+    #: metadata journal (header fragment + circular log); 0 = no journal
+    journal_frags: int = 0
 
     def __post_init__(self) -> None:
         if self.block_size % self.frag_size != 0:
@@ -73,6 +77,10 @@ class FSGeometry:
             raise ValueError("data area must be whole blocks")
         if self.ncg < 1:
             raise ValueError("need at least one cylinder group")
+        if self.journal_frags and self.journal_frags < 24:
+            # header + room for the largest single transaction (descriptor,
+            # a handful of block images, commit) with slack to circulate
+            raise ValueError("journal area must be 0 or at least 24 frags")
 
     # -- derived sizes ---------------------------------------------------
     @property
@@ -104,8 +112,13 @@ class FSGeometry:
         return self.frags_per_block
 
     @property
-    def total_frags(self) -> int:
+    def journal_start(self) -> int:
+        """Fragment address of the journal header (just past the last cg)."""
         return self.cg_start + self.ncg * self.cg_frags
+
+    @property
+    def total_frags(self) -> int:
+        return self.journal_start + self.journal_frags
 
     @property
     def total_inodes(self) -> int:
@@ -154,8 +167,13 @@ class FSGeometry:
         return (ino % self.inodes_per_block) * INODE_SIZE
 
     def cg_of_daddr(self, daddr: int) -> int:
-        """Cylinder group owning data fragment *daddr*."""
-        if daddr < self.cg_start or daddr >= self.total_frags:
+        """Cylinder group owning data fragment *daddr*.
+
+        Journal-area fragments are deliberately outside every cylinder
+        group: a file pointer aimed into the journal is as invalid as one
+        aimed at the boot block.
+        """
+        if daddr < self.cg_start or daddr >= self.journal_start:
             raise ValueError(f"daddr {daddr} outside cylinder groups")
         return (daddr - self.cg_start) // self.cg_frags
 
@@ -174,6 +192,20 @@ class FSGeometry:
     def _check_ino(self, ino: int) -> None:
         if not (0 <= ino < self.total_inodes):
             raise ValueError(f"inode {ino} out of range")
+
+
+def with_journal(geometry: FSGeometry) -> FSGeometry:
+    """*geometry* with a journal area sized to the file system.
+
+    Roughly 1.5% of the data area, clamped so small test geometries still
+    wrap their log (exercising space reclaim) and paper-scale ones do not
+    spend megabytes on it.  Idempotent: a geometry that already reserves a
+    journal is returned unchanged.
+    """
+    if geometry.journal_frags:
+        return geometry
+    log = min(2048, max(128, (geometry.ncg * geometry.dfrags_per_cg) // 64))
+    return replace(geometry, journal_frags=log + 1)
 
 
 @dataclass

@@ -8,7 +8,7 @@ cylinder-group header with correct counts, and the root directory.
 from __future__ import annotations
 
 from repro.disk.drive import Disk
-from repro.fs import directory
+from repro.fs import directory, journal
 from repro.fs.alloc import CgView
 from repro.fs.layout import Dinode, FileType, FSGeometry, ROOT_INO
 from repro.fs.superblock import Superblock
@@ -38,6 +38,12 @@ def mkfs(disk: Disk, geometry: FSGeometry | None = None) -> Superblock:
     superblock = Superblock(geometry=geometry)
     write_frags(geometry.superblock_daddr,
                 superblock.pack(geometry.frag_size))
+
+    if geometry.journal_frags:
+        # an empty journal: the durable tail points at position 0 of a log
+        # whose first descriptor has not been written yet
+        write_frags(geometry.journal_start,
+                    journal.header_bytes(geometry.frag_size, 1, 0))
 
     # cylinder group headers
     for cg in range(geometry.ncg):

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 from repro.fs.layout import FSGeometry
 
 SB_MAGIC = 0x50F7F500  # "soft fs"
-_SB_FMT = "<IIIIIIII"
+# trailing field (journal_frags) was appended later: images packed with the
+# older 8-word format unpack it as 0 from the fragment's zero padding
+_SB_FMT = "<IIIIIIIII"
 
 
 @dataclass
@@ -28,16 +30,18 @@ class Superblock:
         geo = self.geometry
         raw = struct.pack(_SB_FMT, SB_MAGIC, geo.block_size, geo.frag_size,
                           geo.ipg, geo.dfrags_per_cg, geo.ncg,
-                          self.generation, 1 if self.clean else 0)
+                          self.generation, 1 if self.clean else 0,
+                          geo.journal_frags)
         return raw + bytes(frag_size - len(raw))
 
     @classmethod
     def unpack(cls, raw: bytes) -> "Superblock":
         (magic, block_size, frag_size, ipg, dfrags, ncg, generation,
-         clean) = struct.unpack_from(_SB_FMT, raw)
+         clean, journal_frags) = struct.unpack_from(_SB_FMT, raw)
         if magic != SB_MAGIC:
             raise ValueError(f"bad superblock magic {magic:#x}")
         geometry = FSGeometry(block_size=block_size, frag_size=frag_size,
-                              ipg=ipg, dfrags_per_cg=dfrags, ncg=ncg)
+                              ipg=ipg, dfrags_per_cg=dfrags, ncg=ncg,
+                              journal_frags=journal_frags)
         return cls(geometry=geometry, generation=generation,
                    clean=bool(clean))

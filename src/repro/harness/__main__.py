@@ -33,6 +33,7 @@ from pathlib import Path
 
 from repro.harness.report import format_table
 from repro.obs.observatory import append_ledger, snapshot_digest
+from repro.ordering.registry import display_aliases
 from repro.sim import KERNELS
 from repro.harness.runner import (
     FULL_CACHE_BYTES,
@@ -43,14 +44,9 @@ from repro.harness.runner import (
 )
 from repro.workloads.trees import TreeSpec
 
-#: short scheme aliases accepted by the trace subcommand
-SCHEME_ALIASES = {
-    "noorder": "No Order",
-    "conventional": "Conventional",
-    "flag": "Scheduler Flag",
-    "chains": "Scheduler Chains",
-    "softupdates": "Soft Updates",
-}
+#: short scheme aliases accepted by the trace subcommand, straight from
+#: the single scheme registry
+SCHEME_ALIASES = display_aliases()
 
 
 def _resolve_scheme(name: str) -> str:

@@ -45,12 +45,13 @@ from repro.integrity.explorer import SCHEMES, build_machine, explore
 from repro.integrity.fsck import fsck
 from repro.integrity.monitor import OrderingMonitor, monitor_supported
 from repro.obs.observatory import append_ledger
+from repro.ordering.registry import standard_slugs
 from repro.sim import ProcessCrashed, SimulationError
 from repro.workloads.churn import churn_workload
 
-#: the five paper schemes (nvram rides along -- it is a scheme too)
-DEFAULT_SCHEMES = ["noorder", "conventional", "flag", "chains",
-                   "softupdates"]
+#: the standard registry schemes -- the five paper configurations plus
+#: journaling (nvram rides along via --schemes: it is a scheme too)
+DEFAULT_SCHEMES = standard_slugs()
 DEFAULT_PROFILES = ["transient", "defects", "mixed"]
 DEFAULT_SEEDS = [1, 2, 3]
 #: bounded attempts to settle a machine whose sync keeps hitting faults

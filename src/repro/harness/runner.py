@@ -17,16 +17,11 @@ from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from repro.costs import CostModel
-from repro.driver import ChainsPolicy, FlagPolicy, FlagSemantics
+from repro.driver import FlagPolicy, FlagSemantics
 from repro.harness.metrics import RunResult, collect
 from repro.machine import Machine, MachineConfig
-from repro.ordering import (
-    ConventionalScheme,
-    NoOrderScheme,
-    SchedulerChainsScheme,
-    SchedulerFlagScheme,
-    SoftUpdatesScheme,
-)
+from repro.ordering import SchedulerFlagScheme
+from repro.ordering.registry import by_display_name, standard_display_names
 from repro.workloads.copybench import (
     copy_tree_user,
     populate_sources,
@@ -66,40 +61,23 @@ def _config(scheme, policy=None, block_copy=None,
 def standard_scheme_config(name: str, alloc_init: bool = False,
                            cache_bytes: Optional[int] = None,
                            kernel: Optional[str] = None) -> MachineConfig:
-    """The five configurations compared in section 5.
+    """The standard configurations: section 5's five plus journaling.
 
-    *kernel* picks the event-loop kernel (``repro.sim.KERNELS``); the
-    default defers to ``REPRO_KERNEL`` and then the reference kernel.
+    Everything comes from :data:`repro.ordering.registry.REGISTRY` -- the
+    scheme instance in its table configuration (the scheduler schemes get
+    the -CB block-copy enhancement there), the driver policy from the
+    machine's ``default_policy_for`` (Part-NR for the flag, chains for
+    chains).  *kernel* picks the event-loop kernel (``repro.sim.KERNELS``);
+    the default defers to ``REPRO_KERNEL`` and then the reference kernel.
     Kernels are simulation-identical, so every table is byte-identical
     whichever one runs it (``benchmarks/test_kernel_throughput.py``).
     """
-    if name == "No Order":
-        return _config(NoOrderScheme(), cache_bytes=cache_bytes,
-                       kernel=kernel)
-    if name == "Conventional":
-        return _config(ConventionalScheme(alloc_init=alloc_init),
-                       cache_bytes=cache_bytes, kernel=kernel)
-    if name == "Scheduler Flag":
-        # Part-NR/CB, the best flag configuration (section 5)
-        return _config(SchedulerFlagScheme(alloc_init=alloc_init,
-                                           block_copy=True),
-                       policy=FlagPolicy(FlagSemantics.PART,
-                                         read_bypass=True),
-                       cache_bytes=cache_bytes, kernel=kernel)
-    if name == "Scheduler Chains":
-        return _config(SchedulerChainsScheme(alloc_init=alloc_init,
-                                             block_copy=True),
-                       policy=ChainsPolicy(), cache_bytes=cache_bytes,
-                       kernel=kernel)
-    if name == "Soft Updates":
-        return _config(SoftUpdatesScheme(alloc_init=alloc_init),
-                       cache_bytes=cache_bytes, kernel=kernel)
-    raise ValueError(f"unknown scheme {name!r}")
+    scheme = by_display_name(name).build_standard(alloc_init=alloc_init)
+    return _config(scheme, cache_bytes=cache_bytes, kernel=kernel)
 
 
-#: section 5's comparison order
-STANDARD_SCHEMES = ["Conventional", "Scheduler Flag", "Scheduler Chains",
-                    "Soft Updates", "No Order"]
+#: the comparison order (section 5's five, then journaling, No Order last)
+STANDARD_SCHEMES = standard_display_names()
 
 
 def flag_variant(semantics: FlagSemantics, read_bypass: bool,

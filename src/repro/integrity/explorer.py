@@ -92,14 +92,7 @@ from repro.integrity.medialog import ImageSynthesizer, MediaLog
 from repro.integrity.monitor import OrderingMonitor, monitor_supported
 from repro.integrity.secrets import find_secret_leaks, plant_secrets
 from repro.machine import Machine, MachineConfig
-from repro.ordering import (
-    ConventionalScheme,
-    NoOrderScheme,
-    NvramScheme,
-    SchedulerChainsScheme,
-    SchedulerFlagScheme,
-    SoftUpdatesScheme,
-)
+from repro.ordering.registry import scheme_classes
 from repro.ordering.shims import SHIMS
 from repro.workloads.churn import churn_workload, microbench_churn, \
     remove_churn, reuse_churn
@@ -108,14 +101,8 @@ from repro.workloads.churn import churn_workload, microbench_churn, \
 #: each -- small enough that a full sweep fscks hundreds of images fast
 EXPLORER_GEOMETRY = FSGeometry(ipg=256, dfrags_per_cg=2048, ncg=2)
 
-SCHEMES = {
-    "noorder": NoOrderScheme,
-    "conventional": ConventionalScheme,
-    "flag": SchedulerFlagScheme,
-    "chains": SchedulerChainsScheme,
-    "softupdates": SoftUpdatesScheme,
-    "nvram": NvramScheme,
-}
+#: slug -> class, straight from the single scheme registry
+SCHEMES = scheme_classes()
 # the rule-breaking mutation shims ride along so breaches are
 # reproducible from the CLI (and the mutation tests can sweep them)
 SCHEMES.update({name: cls for name, (cls, _rule) in SHIMS.items()})
@@ -162,10 +149,13 @@ def build_machine(scheme_name: str, secrets: bool = False,
     same either way.
     """
     try:
-        scheme = SCHEMES[scheme_name]()
+        # only the lookup belongs in the try: a scheme constructor that
+        # happens to raise KeyError must not masquerade as "unknown scheme"
+        scheme_cls = SCHEMES[scheme_name]
     except KeyError:
         raise ValueError(f"unknown scheme {scheme_name!r}; "
                          f"choose from {sorted(SCHEMES)}") from None
+    scheme = scheme_cls()
     faults = None
     if fault_profile is not None:
         try:

@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.disk.storage import SectorStore
-from repro.fs import directory
+from repro.fs import directory, journal
 from repro.fs.alloc import CG_MAGIC, CgView
 from repro.fs.layout import Dinode, FileType, FSGeometry, ROOT_INO
 from repro.fs.superblock import Superblock
@@ -144,6 +144,59 @@ class _FlatImage:
     def read(self, lbn: int, nsectors: int = 1) -> bytes:
         size = self.geometry.sector_size
         return self._buf[lbn * size:(lbn + nsectors) * size]
+
+
+class _JournalView:
+    """A SectorStore view with the committed journal overlay applied.
+
+    A crashed journaling file system is judged *with* its log: recovery
+    replays every committed transaction, so the recoverable state -- the
+    state fsck must audit -- is the raw image plus the scan overlay.  The
+    view composes reads sector-by-sector (``.read``) and exposes a merged
+    ``_sectors`` dict so :class:`_FlatImage` (the parallel path) bakes the
+    overlay in.  Images without a journal area never construct one, so
+    non-journaling reports are bit-identical to before.
+    """
+
+    __slots__ = ("geometry", "_base", "_sector_overlay")
+
+    def __init__(self, base: SectorStore, geo: FSGeometry,
+                 overlay: dict[int, bytes]) -> None:
+        self.geometry = base.geometry
+        self._base = base
+        size = base.geometry.sector_size
+        spf = geo.frag_size // size
+        self._sector_overlay: dict[int, bytes] = {}
+        for frag, data in overlay.items():
+            for s in range(spf):
+                self._sector_overlay[frag * spf + s] = bytes(
+                    data[s * size:(s + 1) * size])
+
+    def read(self, lbn: int, nsectors: int = 1) -> bytes:
+        out = []
+        for sector in range(lbn, lbn + nsectors):
+            hit = self._sector_overlay.get(sector)
+            out.append(hit if hit is not None
+                       else self._base.read(sector, 1))
+        return b"".join(out)
+
+    @property
+    def _sectors(self) -> dict[int, bytes]:
+        merged = dict(self._base._sectors)
+        merged.update(self._sector_overlay)
+        return merged
+
+
+def journal_overlay_view(image: SectorStore, geo: FSGeometry):
+    """*image* as recovery would leave it (identity when there is no log)."""
+    if not geo.journal_frags:
+        return image
+    spf = geo.frag_size // image.geometry.sector_size
+    result = journal.scan_journal(
+        lambda daddr, n: image.read(daddr * spf, n * spf), geo)
+    if not result.overlay:
+        return image
+    return _JournalView(image, geo, result.overlay)
 
 
 def valid_data_frag(geo: FSGeometry, daddr: int) -> bool:
@@ -524,6 +577,14 @@ def repair(image: SectorStore,
                                      // image.geometry.sector_size),
         geometry.frag_size // image.geometry.sector_size)).geometry
     spf = geo.frag_size // image.geometry.sector_size
+    if geo.journal_frags:
+        # recovery proper: physically replay the committed log and retire
+        # it, so the repairs below operate on the recovered image and the
+        # repaired image mounts with an empty log
+        journal.replay_into(
+            lambda daddr, n: image.read(daddr * spf, n * spf),
+            lambda daddr, data: image.write(daddr * spf, data),
+            geo)
     checker = _Checker(image, geo)
     checker.scan_inodes()
     checker.scan_directories()
@@ -617,6 +678,9 @@ def fsck(image: SectorStore, geometry: FSGeometry | None = None,
         report.errors.append(f"superblock unreadable: {exc}")
         return report
     geo = superblock.geometry
+    # a journaling image is audited in its *recovered* state: raw image
+    # plus the committed log overlay (identity for journal-less layouts)
+    image = journal_overlay_view(image, geo)
     if jobs > 1 and geo.ncg > 1 \
             and not multiprocessing.current_process().daemon:
         return _fsck_parallel(image, geo, jobs)

@@ -26,7 +26,17 @@ soundness they protect:
 * ``dir-unsound`` -- a referenced directory block must always parse, hold
   its '.'/'..' pair, and have no holes,
 * ``fs-unsound`` -- the superblock and cylinder-group headers must stay
-  readable.
+  readable,
+* ``journal-checkpoint-order`` -- write-ahead journaling's one ordering
+  obligation: a journaled block image must not reach its home location
+  before the transaction's commit record is durable.
+
+Journaling support: for layouts with a journal area the monitor judges the
+*recoverable* state -- its shadow image plus the committed log overlay
+(recovery replays the log, so that composite is what fsck would audit).
+Journal-region commits trigger a rescan; home frags covered by the overlay
+are effectively unchanged by their own checkpoint writes, so lazy
+checkpointing never trips a rule.
 
 Per-scheme rulesets derive from :class:`~repro.ordering.guarantees.
 CrashGuarantees`: every rule above guards corruption-class state, so a hit
@@ -66,7 +76,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.fs import directory
+from repro.fs import directory, journal
 from repro.fs.alloc import CG_MAGIC, CgView
 from repro.fs.layout import Dinode, FileType, FSGeometry, INODE_SIZE, ROOT_INO
 from repro.fs.superblock import Superblock
@@ -86,6 +96,9 @@ RULES = {
                    "'.'/'..'",
     "fs-unsound": "superblock and cylinder-group headers must stay "
                   "readable",
+    "journal-checkpoint-order": "a journaled block must not be "
+                                "checkpointed home before its commit "
+                                "record is durable",
 }
 
 
@@ -125,6 +138,38 @@ def _safe_ftype(din: Dinode) -> Optional[FileType]:
         return din.ftype
     except ValueError:
         return None
+
+
+class _EffectiveImage:
+    """The monitor's *recoverable* view: shadow image + committed log.
+
+    Recovery replays committed journal transactions over home locations,
+    so the state every structural predicate must judge is the composite,
+    overlay-first.  Duck-types the SectorStore read interface
+    (:func:`repro.integrity.fsck.read_image_frags` and friends)."""
+
+    __slots__ = ("_monitor", "geometry")
+
+    def __init__(self, monitor: "OrderingMonitor") -> None:
+        self._monitor = monitor
+        self.geometry = monitor._image.geometry
+
+    def read(self, lbn: int, nsectors: int = 1) -> bytes:
+        monitor = self._monitor
+        overlay = monitor._j_overlay
+        if not overlay:
+            return monitor._image.read(lbn, nsectors)
+        spf = monitor._spf
+        sector_size = monitor._sector_size
+        out = []
+        for sector in range(lbn, lbn + nsectors):
+            data = overlay.get(sector // spf)
+            if data is None:
+                out.append(monitor._image.read(sector, 1))
+            else:
+                at = (sector % spf) * sector_size
+                out.append(bytes(data[at:at + sector_size]))
+        return b"".join(out)
 
 
 def monitor_supported(machine) -> bool:
@@ -180,6 +225,11 @@ class OrderingMonitor:
         self._dangling: dict[int, set] = {}
         #: condition keys currently true (violations fire on transitions)
         self._active: set = set()
+        #: committed-but-unretired journal images: home frag -> logged bytes
+        self._j_overlay: dict[int, bytes] = {}
+        #: the head transaction's not-yet-committed images (checkpoint rule)
+        self._j_open: dict[int, bytes] = {}
+        self._eff: Optional[_EffectiveImage] = None
         self._window = (0.0, -1, 0)
         self._chained = None
         self._attached = None
@@ -192,6 +242,9 @@ class OrderingMonitor:
         self._image = disk.storage.snapshot()
         self._sector_size = disk.geometry.sector_size
         self._spf = self.geo.frag_size // self._sector_size
+        self._eff = _EffectiveImage(self)
+        if self.geo.journal_frags:
+            self._j_overlay, self._j_open = self._journal_rescan()
         self._bootstrap()
         self._chained = disk.on_write_commit
         disk.on_write_commit = self._on_commit
@@ -251,17 +304,32 @@ class OrderingMonitor:
     # -- commit digestion ----------------------------------------------------
     def _scan_commit(self, lbn: int, durable: int) -> None:
         """Re-check every predicate whose inputs this commit changed."""
+        sectors = list(range(lbn, lbn + durable))
+        if not self.geo.journal_frags:
+            self._digest(sectors)
+            return
+        home = [sector for sector in sectors
+                if self._classify(sector // self._spf)[0] != "journal"]
+        if home:
+            self._check_checkpoint_order(home)
+        if len(home) != durable:
+            # the log changed: rescan it and re-derive every home frag
+            # whose *effective* (recoverable) content the change moved
+            home += self._journal_refresh()
+        self._digest(home)
+
+    def _digest(self, sectors: list[int]) -> None:
         inode_changes: list[tuple[int, bytes]] = []
         dir_blocks: set = set()
         indirect_owners: set = set()
         cg_headers: set = set()
         sb_touched = False
         per_sector_inodes = self._sector_size // INODE_SIZE
-        for sector in range(lbn, lbn + durable):
+        for sector in sectors:
             frag = sector // self._spf
             region = self._classify(frag)
             kind = region[0]
-            if kind in ("boot", "beyond"):
+            if kind in ("boot", "beyond", "journal"):
                 continue
             if kind == "sb":
                 sb_touched = True
@@ -270,7 +338,7 @@ class OrderingMonitor:
                     cg_headers.add(region[1])
             elif kind == "itab":
                 base_ino = self._first_ino_of_sector(region[1], sector)
-                raw = self._image.read(sector, 1)
+                raw = self._eff.read(sector, 1)
                 for slot in range(per_sector_inodes):
                     ino = base_ino + slot
                     raw128 = raw[slot * INODE_SIZE:(slot + 1) * INODE_SIZE]
@@ -349,6 +417,8 @@ class OrderingMonitor:
             return ("sb",) if frag == geo.superblock_daddr else ("boot",)
         if frag >= geo.total_frags:
             return ("beyond",)
+        if geo.journal_frags and frag >= geo.journal_start:
+            return ("journal",)
         cg = (frag - geo.cg_start) // geo.cg_frags
         offset = (frag - geo.cg_start) % geo.cg_frags
         if offset < geo.frags_per_block:
@@ -369,7 +439,89 @@ class OrderingMonitor:
                 + sector_in_block * (self._sector_size // INODE_SIZE))
 
     def _read_frags(self, daddr: int, frags: int) -> bytes:
-        return self._image.read(daddr * self._spf, frags * self._spf)
+        return self._eff.read(daddr * self._spf, frags * self._spf)
+
+    # -- journal tracking --------------------------------------------------------
+    def _journal_rescan(self) -> tuple[dict, dict]:
+        """Scan the shadow image's log region.
+
+        Returns (committed overlay, open-transaction images): frag -> the
+        logged bytes recovery would replay, and frag -> the head (valid
+        descriptor, no commit record yet) transaction's images -- home
+        writes matching the latter are checkpoints running ahead of their
+        commit record."""
+        geo = self.geo
+        spf = self._spf
+
+        def read_frag(daddr: int, nfrags: int) -> bytes:
+            return self._image.read(daddr * spf, nfrags * spf)
+
+        result = journal.scan_journal(read_frag, geo)
+        open_images: dict[int, bytes] = {}
+        if result.open_frags:
+            base = geo.journal_start + 1
+            log_frags = geo.journal_frags - 1
+            frag_size = geo.frag_size
+            for pos in dict.fromkeys((result.head_pos, 0)):
+                entries = journal.parse_descriptor(read_frag(base + pos, 1),
+                                                   result.head_seq)
+                if entries is None:
+                    continue
+                if pos + journal.record_extent(entries) > log_frags:
+                    continue
+                at = pos + 1
+                for entry in entries:
+                    if entry.kind != journal.IMAGE:
+                        continue
+                    data = read_frag(base + at, entry.nfrags)
+                    for i in range(entry.nfrags):
+                        open_images[entry.daddr + i] = bytes(
+                            data[i * frag_size:(i + 1) * frag_size])
+                    at += entry.nfrags
+                break
+            open_images = {frag: data for frag, data in open_images.items()
+                           if frag in result.open_frags}
+        return dict(result.overlay), open_images
+
+    def _journal_refresh(self) -> list[int]:
+        """Rescan after a log-region commit; return the home sectors whose
+        effective content moved (commit made images authoritative, retire
+        dropped them back to -- now checkpointed -- home copies)."""
+        old_overlay, old_open = self._j_overlay, self._j_open
+        self._j_overlay, self._j_open = self._journal_rescan()
+        for frag in old_open:
+            if frag not in self._j_open:
+                self._active.discard(("jco", frag))
+        spf = self._spf
+        changed: list[int] = []
+        for frag in set(old_overlay) | set(self._j_overlay):
+            before = old_overlay.get(frag)
+            after = self._j_overlay.get(frag)
+            if before == after:
+                continue
+            if before is None or after is None:
+                home = self._image.read(frag * spf, spf)
+                before = before if before is not None else home
+                after = after if after is not None else home
+            if before != after:
+                changed.extend(range(frag * spf, (frag + 1) * spf))
+        return changed
+
+    def _check_checkpoint_order(self, home_sectors: list[int]) -> None:
+        """The journal's one ordering rule: a logged image must not land at
+        its home address while its commit record is still not durable."""
+        if not self._j_open:
+            return
+        spf = self._spf
+        for frag in sorted({sector // spf for sector in home_sectors}):
+            want = self._j_open.get(frag)
+            if want is None:
+                continue
+            if self._image.read(frag * spf, spf) == want:
+                self._fire_once(
+                    ("jco", frag), "journal-checkpoint-order",
+                    f"fragment {frag} checkpointed home before its "
+                    f"transaction's commit record is durable")
 
     # -- derived-state maintenance ---------------------------------------------
     def _bootstrap(self) -> None:
@@ -399,7 +551,7 @@ class OrderingMonitor:
             self._fire_once(("ptr", ino, "mode"), "fs-unsound",
                             f"inode {ino} mode {din.mode:#06x} unparseable")
             return
-        for op in inode_claim_ops(self._image, self.geo, ino, din):
+        for op in inode_claim_ops(self._eff, self.geo, ino, din):
             if op[0] == "error":
                 self._fire_once(("ptr", ino, op[1]), "pointer-invalid",
                                 op[1])

@@ -18,7 +18,7 @@ import struct
 from repro.disk.storage import SectorStore
 from repro.fs.alloc import CgView
 from repro.fs.layout import FileType, FSGeometry
-from repro.integrity.fsck import fsck
+from repro.integrity.fsck import fsck, journal_overlay_view, valid_data_frag
 
 SECRET = b"\xde\xad\xf1\x1e"  # repeated to fill fragments
 
@@ -46,8 +46,18 @@ def plant_secrets(image: SectorStore, geometry: FSGeometry) -> int:
 
 def find_secret_leaks(image: SectorStore,
                       geometry: FSGeometry | None = None) -> list[str]:
-    """Files whose readable contents still contain the planted marker."""
+    """Files whose readable contents still contain the planted marker.
+
+    The audit runs on the *recovered* view: journaling leaves committed
+    metadata (indirect blocks included) in the log with home still
+    holding a previous owner's bytes, and recovery replays the log before
+    any file is readable -- so, like fsck, the walk reads through the
+    committed overlay.  Pointers that leave the data area are skipped
+    (fsck books them as corruption findings; dereferencing a torn
+    pointer's garbage here would just crash the auditor).
+    """
     geometry = geometry or FSGeometry()
+    image = journal_overlay_view(image, geometry)
     spf = _spf(image, geometry)
     report = fsck(image, geometry)
     leaks: list[str] = []
@@ -59,7 +69,7 @@ def find_secret_leaks(image: SectorStore,
         while remaining > 0 and lblk < geometry.NDADDR:
             daddr = din.direct[lblk]
             take = min(remaining, geometry.block_size)
-            if daddr:
+            if daddr and valid_data_frag(geometry, daddr):
                 frags = (take + geometry.frag_size - 1) // geometry.frag_size
                 raw = image.read(daddr * spf, frags * spf)[:take]
                 if SECRET in raw:
@@ -67,14 +77,15 @@ def find_secret_leaks(image: SectorStore,
                         f"inode {ino} block {lblk} exposes stale data")
             remaining -= take
             lblk += 1
-        if remaining > 0 and din.sindirect:
+        if remaining > 0 and din.sindirect \
+                and valid_data_frag(geometry, din.sindirect):
             raw = image.read(din.sindirect * spf,
                              geometry.frags_per_block * spf)
             for pointer in struct.unpack(f"<{geometry.nindir}I", raw):
                 if remaining <= 0:
                     break
                 take = min(remaining, geometry.block_size)
-                if pointer:
+                if pointer and valid_data_frag(geometry, pointer):
                     data = image.read(pointer * spf,
                                       geometry.frags_per_block * spf)[:take]
                     if SECRET in data:

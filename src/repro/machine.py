@@ -29,6 +29,7 @@ from repro.driver import ChainsPolicy, DeviceDriver, FlagPolicy, FlagSemantics
 from repro.faults import FaultPlan
 from repro.driver.ordering import OrderingPolicy
 from repro.fs import FileSystem, FSGeometry, mkfs
+from repro.fs.layout import with_journal
 from repro.obs import Observability
 from repro.ordering import (
     NoOrderScheme,
@@ -93,6 +94,11 @@ class Machine:
     def __init__(self, config: Optional[MachineConfig] = None) -> None:
         self.config = config or MachineConfig()
         cfg = self.config
+        if getattr(cfg.scheme, "wants_journal", False):
+            # journaling schemes need the reserved journal area; sizing it
+            # here (idempotently) means every harness surface -- runner,
+            # explorer, fault sweep, ad-hoc tests -- gets it for free
+            cfg.fs_geometry = with_journal(cfg.fs_geometry)
         self.engine = Engine(kernel=cfg.kernel)
         # observability is installed before any component is built so each
         # one can capture its instruments (or None) exactly once

@@ -1,4 +1,4 @@
-"""The five metadata-update ordering schemes.
+"""The metadata-update ordering schemes.
 
 Each scheme plugs into the same file system at the same four structural
 change points (block allocation, block deallocation, link addition, link
@@ -17,6 +17,13 @@ removal) and decides *how* the affected metadata reaches the disk:
 * :class:`SoftUpdatesScheme` -- delayed writes with fine-grained dependency
   records, undo/redo rollback and deferred deallocation (section 4.2 and the
   appendix).
+* :class:`JournalScheme` -- write-ahead metadata journaling (section 6's
+  "logging" alternative): block images into a reserved log, an ordered
+  commit record, lazy checkpointing, recovery by replay.
+
+:data:`REGISTRY` (:mod:`repro.ordering.registry`) is the single source the
+harness surfaces -- benchmark runner, crash explorer, fault sweep, trace
+CLI -- enumerate schemes from.
 """
 
 from repro.ordering.base import AllocContext, OrderingScheme
@@ -27,15 +34,20 @@ from repro.ordering.schedflag import SchedulerFlagScheme
 from repro.ordering.schedchains import SchedulerChainsScheme
 from repro.ordering.softupdates import SoftUpdatesScheme
 from repro.ordering.nvram import NvramScheme
+from repro.ordering.journal import JournalScheme
+from repro.ordering.registry import REGISTRY, SchemeInfo
 
 __all__ = [
     "AllocContext",
     "ConventionalScheme",
     "CrashGuarantees",
+    "JournalScheme",
     "NoOrderScheme",
     "NvramScheme",
     "OrderingScheme",
+    "REGISTRY",
     "SchedulerChainsScheme",
     "SchedulerFlagScheme",
+    "SchemeInfo",
     "SoftUpdatesScheme",
 ]

@@ -39,13 +39,21 @@ class CrashGuarantees:
     def permits(self, invariant) -> bool:
         """Whether violating *invariant* (an
         :class:`repro.integrity.invariants.Invariant`) is within the
-        declaration."""
-        if invariant.severity.value == "corruption":
-            return self.allows_corruption
+        declaration.
+
+        Dispatch is by invariant *key* first and severity only as the
+        fallback: an invariant with a dedicated flag is always gated by
+        that flag, whatever severity a checker assigns it.  (The reverse
+        order would let a corruption-severity ``link-count`` or
+        ``stale-data`` finding slip past its specific flag via
+        ``allows_corruption``.)
+        """
         if invariant.key == "link-count":
             return self.allows_link_skew
         if invariant.key == "stale-data":
             return self.allows_stale_data
+        if invariant.severity.value == "corruption":
+            return self.allows_corruption
         return self.allows_leaks
 
 

@@ -206,6 +206,25 @@ class TestCli:
         assert "8 replays" in out
 
 
+class TestSchemeLookup:
+    def test_unknown_scheme_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            build_machine("no-such-scheme")
+
+    def test_scheme_constructor_keyerror_is_not_masked(self, monkeypatch):
+        # regression: the lookup's try once swallowed KeyErrors raised by
+        # the scheme *constructor* and reported "unknown scheme" instead
+        import repro.integrity.explorer as explorer
+
+        class Exploding:
+            def __init__(self):
+                raise KeyError("boom")
+
+        monkeypatch.setitem(explorer.SCHEMES, "exploding", Exploding)
+        with pytest.raises(KeyError, match="boom"):
+            build_machine("exploding")
+
+
 @pytest.mark.slow
 class TestFullSweeps:
     """The acceptance-grade sweeps: every boundary, pool >= 4."""

@@ -28,8 +28,9 @@ from repro.integrity.monitor import OrderingMonitor, monitor_supported
 from tests.conftest import run_user
 
 #: every scheme whose crash state lives entirely on the platters
-MEDIA_SCHEMES = ["noorder", "conventional", "flag", "chains", "softupdates"]
-SAFE_SCHEMES = ["conventional", "flag", "chains", "softupdates"]
+MEDIA_SCHEMES = ["noorder", "conventional", "flag", "chains",
+                 "softupdates", "journal"]
+SAFE_SCHEMES = ["conventional", "flag", "chains", "softupdates", "journal"]
 
 
 def make_monitor(machine) -> OrderingMonitor:

@@ -26,9 +26,14 @@ import pytest
 
 from repro.integrity.explorer import explore
 from repro.integrity.monitor import RULES
+from repro.ordering.registry import REGISTRY
 from repro.ordering.shims import SHIMS
 
-MEDIA_SCHEMES = ["noorder", "conventional", "flag", "chains", "softupdates"]
+#: every registered scheme whose crash state lives on the platters (nvram
+#: keeps survivors in battery-backed memory); derived from the registry so
+#: a newly registered scheme is under differential test automatically
+MEDIA_SCHEMES = [slug for slug, info in REGISTRY.items()
+                 if getattr(info.cls, "apply_to_image", None) is None]
 #: fault dimension: perfect disk, recoverable transients, transients +
 #: recoverable write-path defects (profiles with latent defects would
 #: abort the victim workload itself and test the fault harness, not the

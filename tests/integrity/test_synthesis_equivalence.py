@@ -28,8 +28,11 @@ from repro.integrity.explorer import (
 )
 from repro.integrity.medialog import ImageSynthesizer, synthesize_crash_image
 
-#: every scheme whose crash state lives entirely on the platters
-MEDIA_SCHEMES = ["noorder", "conventional", "flag", "chains", "softupdates"]
+#: every registered scheme whose crash state lives entirely on the
+#: platters (journal included: its log region is just more media sectors)
+from repro.ordering.registry import REGISTRY
+MEDIA_SCHEMES = [slug for slug, info in REGISTRY.items()
+                 if getattr(info.cls, "apply_to_image", None) is None]
 FAULTS = [None, "transient"]
 
 

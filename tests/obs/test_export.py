@@ -100,5 +100,7 @@ def test_trace_cli_rejects_unknown_scheme():
 
 
 def test_scheme_aliases_cover_all_standard_schemes():
+    # the aliases come from the single registry, so every standard scheme
+    # is reachable (non-standard registrants like nvram ride along too)
     from repro.harness.runner import STANDARD_SCHEMES
-    assert sorted(SCHEME_ALIASES.values()) == sorted(STANDARD_SCHEMES)
+    assert set(STANDARD_SCHEMES) <= set(SCHEME_ALIASES.values())

@@ -1,0 +1,102 @@
+"""The single scheme registry and every harness surface that consumes it.
+
+A scheme registered once in :data:`repro.ordering.registry.REGISTRY` must
+appear in the benchmark runner's standard list, the crash explorer's
+table, the fault sweep's defaults and the trace CLI's aliases -- no more
+per-surface hand-maintained lists drifting apart (the journal scheme was
+added by touching exactly one table; this suite holds it that way).
+"""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.ordering import JournalScheme, OrderingScheme
+from repro.ordering.registry import (
+    REGISTRY,
+    SchemeInfo,
+    by_display_name,
+    display_aliases,
+    scheme_classes,
+    standard_display_names,
+    standard_slugs,
+)
+
+
+def test_registry_has_all_six_schemes():
+    assert set(REGISTRY) >= {"conventional", "flag", "chains",
+                             "softupdates", "journal", "noorder"}
+    # nvram is registered too (non-standard: a what-if, not a table row)
+    assert "nvram" in REGISTRY
+    assert not REGISTRY["nvram"].standard
+
+
+def test_every_entry_is_wellformed():
+    for slug, info in REGISTRY.items():
+        assert info.slug == slug
+        assert issubclass(info.cls, OrderingScheme)
+        assert info.display_name
+        assert info.guarantees is info.cls.declared_guarantees
+
+
+def test_every_scheme_builds():
+    for info in REGISTRY.values():
+        assert isinstance(info.build(), info.cls)
+        assert isinstance(info.build_standard(), info.cls)
+        if info.takes_alloc_init:
+            assert info.build_standard(alloc_init=True).alloc_init is True
+
+
+def test_standard_order_puts_noorder_last():
+    # No Order is the baseline the tables normalize against
+    assert standard_display_names()[-1] == "No Order"
+    assert standard_slugs()[-1] == "noorder"
+
+
+def test_by_display_name_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown scheme"):
+        by_display_name("Journalling")  # the common misspelling
+
+
+# ----------------------------------------------------------------------
+# every harness surface enumerates the registry
+# ----------------------------------------------------------------------
+def test_runner_standard_schemes_come_from_registry():
+    from repro.harness.runner import STANDARD_SCHEMES, standard_scheme_config
+    assert STANDARD_SCHEMES == standard_display_names()
+    for name in STANDARD_SCHEMES:
+        config = standard_scheme_config(name)
+        assert isinstance(config, MachineConfig)
+        assert type(config.scheme) is by_display_name(name).cls
+
+
+def test_explorer_table_covers_registry_plus_shims():
+    from repro.integrity.explorer import SCHEMES
+    from repro.ordering.shims import SHIMS
+    for slug, cls in scheme_classes().items():
+        assert SCHEMES[slug] is cls
+    for name in SHIMS:
+        assert name in SCHEMES  # the mutation shims still ride along
+
+
+def test_fault_sweep_defaults_are_the_standard_slugs():
+    from repro.harness.faults import DEFAULT_SCHEMES
+    assert DEFAULT_SCHEMES == standard_slugs()
+
+
+def test_trace_cli_aliases_cover_registry():
+    from repro.harness.__main__ import SCHEME_ALIASES
+    assert SCHEME_ALIASES == display_aliases()
+    for info in REGISTRY.values():
+        assert SCHEME_ALIASES[info.slug] == info.display_name
+
+
+def test_journal_standard_configuration():
+    info = REGISTRY["journal"]
+    scheme = info.build_standard()
+    assert isinstance(scheme, JournalScheme)
+    assert scheme.wants_journal
+    # like soft updates, journaling enforces allocation initialization by
+    # default -- the commit barrier orders inode inits for free, data
+    # blocks are synced before the pointer commits
+    assert scheme.alloc_init is True
+    assert not info.guarantees.allows_corruption
