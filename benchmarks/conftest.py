@@ -31,6 +31,7 @@ from repro.harness.parallel import (  # noqa: F401  (run_grid re-exported)
 )
 from repro.harness.perflog import append_record, build_session_record
 from repro.harness.report import format_table
+from repro.disk import store_name
 from repro.harness.runner import FULL_CACHE_BYTES, scale_factor
 from repro.obs.observatory import append_ledger, snapshot_digest
 from repro.obs.profiler import format_profile_report
@@ -71,7 +72,7 @@ def pytest_sessionfinish(session, exitstatus):
         return
     record = build_session_record(
         GRID_REPORTS, scale=SCALE, jobs=default_jobs(),
-        kernel=kernel_name(),
+        kernel=kernel_name(), store=store_name(),
         timestamp=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()))
     # keep the JSON trajectory bounded; older sessions rotate into
     # BENCH_perf.history.jsonl (see repro.harness.perflog)
@@ -80,6 +81,7 @@ def pytest_sessionfinish(session, exitstatus):
         "scale": SCALE,
         "jobs": default_jobs(),
         "kernel": kernel_name(),
+        "store": store_name(),
         "grids": [grid.name for grid in GRID_REPORTS],
         "cells": sum(len(grid.cells) for grid in GRID_REPORTS),
         "wall_seconds": record["wall_seconds"],

@@ -34,7 +34,7 @@ class Buffer:
     __slots__ = ("daddr", "size", "data", "valid", "dirty", "busy", "marked",
                  "write_outstanding", "hold_count", "waitq", "pre_write",
                  "post_write", "dep_info", "dirtied_at", "last_release",
-                 "owner", "flush_deps", "error")
+                 "owner", "flush_deps", "error", "dir_index")
 
     def __init__(self, engine: Engine, daddr: int, size: int) -> None:
         self.daddr = daddr
@@ -68,6 +68,10 @@ class Buffer:
         #: buffer (None = succeeded); set by the cache at I/O completion so
         #: post_write hooks and waiting writers see the failure
         self.error: Optional[str] = None
+        #: host-side directory lookup index (repro.fs.directory.DirIndex),
+        #: None = not built, False = bytes are corrupt (fall back to scan);
+        #: dropped by anything that changes ``data``
+        self.dir_index: Any = None
 
     def mark_dirty(self, now: float) -> None:
         """Mark newer-than-disk, stamping when the buffer first dirtied."""

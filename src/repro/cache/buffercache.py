@@ -105,6 +105,15 @@ class BufferCache:
         if size <= 0 or size % self.frag_size != 0:
             raise ValueError(f"buffer size {size} is not a whole fragment count")
         yield from self.cpu.compute(self.costs.time("getblk"))
+        # uncontended same-size hit: what the loop below does on its first
+        # pass when nothing blocks, minus the bookkeeping it never reaches
+        buf = self._buffers.get(daddr)
+        if buf is not None and not buf.busy and buf.size == size:
+            self._make_busy(buf)
+            self.hits += 1
+            if self._obs is not None:
+                self._m_hits.inc()
+            return buf
         # lock-wait accounting is opened lazily on the first sleep and closed
         # on whichever exit path acquires the buffer; the loop structure (and
         # therefore every wakeup and timestamp) is identical with tracing off
@@ -128,6 +137,7 @@ class BufferCache:
                     self.used_bytes += size - buf.size
                     buf.data.extend(bytes(size - buf.size))
                     buf.size = size
+                    buf.dir_index = None
                 elif size < buf.size:
                     raise RuntimeError(
                         f"getblk({daddr}, {size}) found a larger live buffer "
@@ -183,6 +193,7 @@ class BufferCache:
             buf.data[:] = self.driver.disk.storage.read(
                 self._lbn(daddr), size // self.frag_size * self.sectors_per_frag)
             buf.valid = True
+            buf.dir_index = None
             if span is not None:
                 obs.tracer.end(span)
         return buf
@@ -340,6 +351,7 @@ class BufferCache:
             buf.dirty = False
             buf.valid = False
             buf.marked = False
+            buf.dir_index = None
             if not buf.busy and not buf.write_outstanding and buf.hold_count == 0:
                 self._evict(buf)
 

@@ -90,6 +90,9 @@ class DeviceDriver:
         # -- the eligibility index (see module docstring) ------------------
         self._eligible: dict[int, DiskRequest] = {}
         self._eligible_keys: list[tuple[int, int]] = []
+        # mirror sorted by (end_lbn, id): backward concatenation bisects
+        # here instead of scanning every eligible request per dispatch
+        self._eligible_ends: list[tuple[int, int]] = []
         self._fifo_held: set[int] = set()
         self._policy_held: list[int] = []
         self._dep_waiters: dict[int, list[int]] = {}
@@ -241,12 +244,16 @@ class DeviceDriver:
     def _promote(self, request: DiskRequest) -> None:
         self._eligible[request.id] = request
         insort(self._eligible_keys, (request.lbn, request.id))
+        insort(self._eligible_ends, (request.end_lbn, request.id))
 
     def _remove_eligible(self, request: DiskRequest) -> None:
         del self._eligible[request.id]
         keys = self._eligible_keys
         index = bisect_left(keys, (request.lbn, request.id))
         del keys[index]
+        ends = self._eligible_ends
+        index = bisect_left(ends, (request.end_lbn, request.id))
+        del ends[index]
 
     def _conflict_blocker(self, request: DiskRequest) -> Optional[int]:
         """Oldest incomplete *earlier* write overlapping *request*.
@@ -501,39 +508,69 @@ class DeviceDriver:
         return all(fifo[sector][0] == request_id
                    for sector in range(request.lbn, request.end_lbn))
 
+    def _lowest_at(self, lbn: int, kind: IOKind,
+                   chosen: DiskRequest) -> Optional[DiskRequest]:
+        """First-issued eligible *kind* request starting at *lbn* (not
+        *chosen*); keys are (lbn, id)-sorted, so the bisect lands on the
+        lowest id and the walk only skips other-kind requests."""
+        keys = self._eligible_keys
+        eligible = self._eligible
+        index = bisect_left(keys, (lbn, 0))
+        while index < len(keys) and keys[index][0] == lbn:
+            request = eligible[keys[index][1]]
+            if request.kind is kind and request is not chosen:
+                return request
+            index += 1
+        return None
+
     def _concatenate(self, chosen: DiskRequest) -> list[DiskRequest]:
         """Merge LBN-contiguous, same-direction eligible requests.
 
         First-issued (lowest id) wins whenever two eligible requests could
         anchor the same extension point -- in both the forward (by start
-        LBN) and backward (by end LBN) directions.
+        LBN) and backward (by end LBN) directions.  Backward candidates are
+        drawn from the forward pass's residue: only the first-issued
+        request at its start LBN may anchor a backward extension, and never
+        one the forward pass already consumed.  Both directions bisect the
+        sorted key mirrors, so a dispatch costs O(batch · log eligible)
+        instead of a scan of every eligible request
+        (``tests/driver/test_concat_index.py`` holds the executable spec).
         """
-        same_kind: dict[int, DiskRequest] = {}
         kind = chosen.kind
-        for request in self._eligible.values():
-            if request.kind is kind and request is not chosen:
-                held = same_kind.get(request.lbn)
-                if held is None or request.id < held.id:
-                    same_kind[request.lbn] = request
+        max_total = self.max_batch_sectors
         batch = [chosen]
         total = chosen.nsectors
+        consumed: set[int] = set()
         # extend forward
         cursor = chosen.end_lbn
-        while total < self.max_batch_sectors and cursor in same_kind:
-            nxt = same_kind.pop(cursor)
+        while total < max_total:
+            nxt = self._lowest_at(cursor, kind, chosen)
+            if nxt is None:
+                break
             batch.append(nxt)
+            consumed.add(nxt.id)
             total += nxt.nsectors
             cursor = nxt.end_lbn
         # extend backward
-        by_end: dict[int, DiskRequest] = {}
-        for request in same_kind.values():
-            held = by_end.get(request.end_lbn)
-            if held is None or request.id < held.id:
-                by_end[request.end_lbn] = request
-        cursor = batch[0].lbn
-        while total < self.max_batch_sectors and cursor in by_end:
-            prev = by_end.pop(cursor)
+        ends = self._eligible_ends
+        eligible = self._eligible
+        cursor = chosen.lbn
+        while total < max_total:
+            index = bisect_left(ends, (cursor, 0))
+            prev = None
+            while index < len(ends) and ends[index][0] == cursor:
+                request = eligible[ends[index][1]]
+                if (request.kind is kind and request is not chosen
+                        and request.id not in consumed
+                        and self._lowest_at(request.lbn, kind, chosen)
+                        is request):
+                    prev = request
+                    break
+                index += 1
+            if prev is None:
+                break
             batch.insert(0, prev)
+            consumed.add(prev.id)
             total += prev.nsectors
             cursor = prev.lbn
         return batch

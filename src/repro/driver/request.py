@@ -37,9 +37,10 @@ class DiskRequest:
     used by the buffer cache and by soft updates' ISR-time processing).
     """
 
-    __slots__ = ("id", "kind", "lbn", "nsectors", "data", "flag", "depends_on",
-                 "issuer", "issue_time", "dispatch_time", "complete_time",
-                 "done", "on_complete", "trace_parent", "error")
+    __slots__ = ("id", "kind", "lbn", "nsectors", "end_lbn", "data", "flag",
+                 "depends_on", "issuer", "issue_time", "dispatch_time",
+                 "complete_time", "done", "on_complete", "trace_parent",
+                 "error")
 
     def __init__(self, engine: Engine, request_id: int, kind: IOKind,
                  lbn: int, nsectors: int, data: Optional[bytes] = None,
@@ -56,6 +57,9 @@ class DiskRequest:
         self.kind = kind
         self.lbn = lbn
         self.nsectors = nsectors
+        #: one past the last sector; lbn/nsectors are immutable after issue,
+        #: and overlap tests in the driver's hot loop read this constantly
+        self.end_lbn = lbn + nsectors
         self.data = data
         self.flag = flag
         self.depends_on: frozenset[int] = depends_on or frozenset()
@@ -91,10 +95,6 @@ class DiskRequest:
     def response_time(self) -> float:
         """Issue-to-completion (the paper's 'driver response time')."""
         return self.complete_time - self.issue_time
-
-    @property
-    def end_lbn(self) -> int:
-        return self.lbn + self.nsectors
 
     def overlaps(self, lbn: int, nsectors: int) -> bool:
         return self.lbn < lbn + nsectors and lbn < self.end_lbn

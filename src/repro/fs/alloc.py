@@ -52,6 +52,13 @@ def _first_free_run_in_byte(byte: int, count: int) -> int:
 _FIRST_RUN = [[_first_free_run_in_byte(byte, count) for count in range(1, 9)]
               for byte in range(256)]
 
+#: RUN_MATCH[count-1]: 256-entry translate table mapping a bitmap byte to
+#: 1 iff it is *partially* used (not fully free) and holds a free run of
+#: `count` -- bytes.translate + find then scan whole bitmaps at C speed
+_RUN_MATCH = [bytes(1 if (byte and _FIRST_RUN[byte][slot] >= 0) else 0
+                    for byte in range(256))
+              for slot in range(8)]
+
 
 class CgView:
     """Byte-level view of one cylinder-group header block."""
@@ -175,26 +182,23 @@ class CgView:
         nblocks = self.geometry.dfrags_per_cg // fpb
         start_block = (rotor // fpb) % nblocks
         if fpb == 8:
-            view = self.data
-            base_at = self._fbm_at
-            table = _FIRST_RUN
+            # one bitmap byte per block.  A partially-used block with a
+            # fitting run anywhere in the rotation beats the fallback (the
+            # first fully-free block in rotation order), so scan for the
+            # partial match first -- both scans are C-speed find()s over
+            # the translated byte map
             slot = count - 1
-            fallback = None
-            for offset in range(nblocks):
-                block = start_block + offset
-                if block >= nblocks:
-                    block -= nblocks
-                byte = view[base_at + block]
-                if byte == 0xFF:
-                    continue
-                if byte == 0:
-                    if fallback is None:
-                        fallback = block * 8
-                    continue
-                run = table[byte][slot]
-                if run >= 0:
-                    return block * 8 + run
-            return fallback
+            view = bytes(self.data[self._fbm_at:self._fbm_at + nblocks])
+            match = view.translate(_RUN_MATCH[slot])
+            at = match.find(1, start_block)
+            if at < 0:
+                at = match.find(1, 0, start_block)
+            if at >= 0:
+                return at * 8 + _FIRST_RUN[view[at]][slot]
+            free = view.find(0, start_block)
+            if free < 0:
+                free = view.find(0, 0, start_block)
+            return free * 8 if free >= 0 else None
         fallback = None
         for offset in range(nblocks):
             block = (start_block + offset) % nblocks

@@ -109,6 +109,60 @@ def lookup(data: bytes | bytearray, name: str,
     return None, scanned
 
 
+@dataclass
+class DirIndex:
+    """Host-side decoded view of one directory block.
+
+    One linear parse replaces the per-lookup record walk: ``by_name`` maps
+    each live name to everything :func:`lookup` would have reported for it
+    (including the 1-based ordinal of the record, i.e. the ``scanned``
+    count a linear scan charges the CPU for), ``nrecords`` is the scan
+    count of a miss, and ``max_slack`` is the largest hole
+    :func:`add_entry` could use -- a block with ``max_slack < need`` is
+    exactly a block ``add_entry`` returns ``None`` for.
+
+    The index lives on the block's cache buffer and is dropped whenever
+    the buffer's bytes change; simulated costs are charged from the
+    recorded ordinals, so an indexed lookup is simulation-identical to the
+    linear scan it replaces.
+    """
+
+    #: name -> (ordinal, offset, ino, reclen, ftype) for live entries;
+    #: first record wins for duplicate names, exactly like the scan
+    by_name: dict[str, tuple[int, int, int, int, FileType]]
+    #: total records (live + dead): the scan count of a missed lookup
+    nrecords: int
+    #: the largest insertion slack any record offers
+    max_slack: int
+
+
+def build_index(data: bytes | bytearray) -> Optional[DirIndex]:
+    """Index every record of *data*; None if the bytes are corrupt.
+
+    A corrupt block must keep the scan's behavior (a lookup that matches
+    *before* the corrupt record returns normally; reaching it raises), so
+    callers fall back to :func:`lookup` when this returns None.
+    """
+    by_name: dict[str, tuple[int, int, int, int, FileType]] = {}
+    nrecords = 0
+    max_slack = 0
+    try:
+        for entry in iter_entries(data):
+            nrecords += 1
+            if entry.live:
+                slack = entry.reclen - entry_bytes(len(entry.name.encode()))
+                if entry.name not in by_name:
+                    by_name[entry.name] = (nrecords, entry.offset, entry.ino,
+                                           entry.reclen, entry.ftype)
+            else:
+                slack = entry.reclen
+            if slack > max_slack:
+                max_slack = slack
+    except CorruptDirectory:
+        return None
+    return DirIndex(by_name=by_name, nrecords=nrecords, max_slack=max_slack)
+
+
 def add_entry(data: bytearray, name: str, ino: int,
               ftype: FileType) -> Optional[int]:
     """Insert an entry into free space; returns its offset or None if full."""

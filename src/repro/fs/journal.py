@@ -81,6 +81,10 @@ class Transaction:
     pos: int
     entries: list[Entry]
     extent: int
+    #: the record's whole payload, as the one contiguous read that
+    #: validated the checksum -- the scan slices images out of it instead
+    #: of re-reading the log fragment by fragment
+    payload: bytes = b""
 
 
 @dataclass
@@ -215,15 +219,17 @@ def scan_journal(read_frag: ReadFrag, geometry: FSGeometry) -> ScanResult:
             if entry.kind == REVOKE:
                 for frag in range(entry.daddr, entry.daddr + entry.nfrags):
                     overlay.pop(frag, None)
-        at = pos + 1
+        # images come out of the payload the checksum pass already read --
+        # whole records per slice, no second trip to the log
+        at = 0
         frag_size = geometry.frag_size
+        payload = txn.payload
         for entry in txn.entries:
             if entry.kind != IMAGE:
                 continue
-            data = read_frag(base + at, entry.nfrags)
             for i in range(entry.nfrags):
                 overlay[entry.daddr + i] = bytes(
-                    data[i * frag_size:(i + 1) * frag_size])
+                    payload[(at + i) * frag_size:(at + i + 1) * frag_size])
             at += entry.nfrags
         result.transactions.append(txn)
         pos += txn.extent
@@ -252,7 +258,8 @@ def _txn_at(read_frag: ReadFrag, base: int, log_frags: int, pos: int,
     commit_raw = read_frag(base + pos + extent - 1, 1)
     if not commit_valid(commit_raw, seq, txn_checksum(desc_raw, payload)):
         return None
-    return Transaction(seq=seq, pos=pos, entries=entries, extent=extent)
+    return Transaction(seq=seq, pos=pos, entries=entries, extent=extent,
+                       payload=bytes(payload))
 
 
 def _open_frags(read_frag: ReadFrag, base: int, log_frags: int, pos: int,

@@ -305,11 +305,36 @@ class FileSystem:
             // self.geometry.block_size
 
     def _dir_lookup(self, dp: Inode, name: str) -> Generator:
-        """Find *name* in locked directory *dp*; returns a DirEntry or None."""
+        """Find *name* in locked directory *dp*; returns a DirEntry or None.
+
+        Each block's record table is decoded once into a ``DirIndex`` kept
+        on the cache buffer; repeat lookups are a dict probe.  Simulated
+        CPU time is charged from the ordinal the index recorded, so the
+        timeline is identical to the linear scan.  Corrupt bytes pin a
+        ``False`` sentinel and take the scan path, which preserves the
+        scan's exact semantics (a name that matches before the corrupt
+        record still resolves; reaching the corruption raises).
+        """
+        bs = self.geometry.block_size
         for lblk in range(self._dir_nblocks(dp)):
             buf = yield from self._dir_block(dp, lblk)
-            entry, scanned = directory.lookup(
-                buf.data, name, base_offset=lblk * self.geometry.block_size)
+            index = buf.dir_index
+            if index is None:
+                index = directory.build_index(buf.data)
+                buf.dir_index = index if index is not None else False
+            if index:
+                hit = index.by_name.get(name)
+                if hit is not None:
+                    ordinal, offset, ino, reclen, ftype = hit
+                    entry = directory.DirEntry(lblk * bs + offset, ino,
+                                               reclen, name, ftype)
+                    scanned = ordinal
+                else:
+                    entry = None
+                    scanned = index.nrecords
+            else:
+                entry, scanned = directory.lookup(
+                    buf.data, name, base_offset=lblk * bs)
             yield from self.cpu.compute(
                 self.costs.time("dirent_scan", scanned))
             self.cache.brelse(buf)
@@ -319,12 +344,26 @@ class FileSystem:
 
     def _dir_add_entry(self, dp: Inode, name: str, ino: int,
                        ftype: FileType) -> Generator:
-        """Place an entry; returns the held buffer and the entry offset."""
+        """Place an entry; returns the held buffer and the entry offset.
+
+        A block whose index shows ``max_slack < need`` is exactly a block
+        ``add_entry`` would scan and refuse, so it is skipped without
+        decoding (the bread and its costs still happen, as before).
+        """
         bs = self.geometry.block_size
+        name_raw = name.encode()
+        valid_name = 0 < len(name_raw) <= directory.MAX_NAME
+        need = directory.entry_bytes(len(name_raw))
         for lblk in range(self._dir_nblocks(dp)):
             buf = yield from self._dir_block(dp, lblk)
+            index = buf.dir_index
+            if valid_name and isinstance(index, directory.DirIndex) \
+                    and index.max_slack < need:
+                self.cache.brelse(buf)
+                continue
             offset = directory.add_entry(buf.data, name, ino, ftype)
             if offset is not None:
+                buf.dir_index = None
                 return buf, lblk * bs + offset
             self.cache.brelse(buf)
         # directory full: grow it by one (full) block of empty chunks
@@ -332,6 +371,7 @@ class FileSystem:
         buf = yield from self._grow_directory(dp, lblk)
         offset = directory.add_entry(buf.data, name, ino, ftype)
         assert offset is not None
+        buf.dir_index = None
         return buf, lblk * bs + offset
 
     def _grow_directory(self, dp: Inode, lblk: int) -> Generator:
@@ -444,6 +484,7 @@ class FileSystem:
             buf.data[:len(old_data)] = old_data
             buf.data[len(old_data):] = bytes(len(buf.data) - len(old_data))
             buf.valid = True
+            buf.dir_index = None
             yield from self.cpu.compute(self.costs.block_copy(len(old_data)))
         else:
             new_daddr = yield from self.allocator.alloc_frags(hint, want_frags)
@@ -451,6 +492,7 @@ class FileSystem:
             buf.data[:] = init_image if init_image is not None \
                 else bytes(len(buf.data))
             buf.valid = True
+            buf.dir_index = None
             old_frags = 0
             old_daddr = 0
 
@@ -508,6 +550,7 @@ class FileSystem:
         buf = yield from self.cache.getblk(daddr, geo.block_size)
         buf.data[:] = bytes(geo.block_size)
         buf.valid = True
+        buf.dir_index = None
         setattr(ip.din, which, daddr)
         ip.din.frags_held += geo.frags_per_block
         slot = geo.NDADDR if which == "sindirect" else geo.NDADDR + 1
@@ -525,6 +568,7 @@ class FileSystem:
         buf = yield from self.cache.getblk(daddr, geo.block_size)
         buf.data[:] = bytes(geo.block_size)
         buf.valid = True
+        buf.dir_index = None
         struct.pack_into("<I", l1buf.data, 4 * slot, daddr)
         ip.din.frags_held += geo.frags_per_block
         ctx = AllocContext(ip=ip, lblk=-1, owner_kind="indirect", ibuf=l1buf,
@@ -748,6 +792,7 @@ class FileSystem:
         lblk, in_block = divmod(entry.offset, bs)
         buf = yield from self._dir_block(dp, lblk)
         directory.remove_entry(buf.data, in_block)
+        buf.dir_index = None
         return buf, entry.offset
 
     def _dir_is_empty(self, ip: Inode) -> Generator:

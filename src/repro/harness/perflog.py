@@ -56,6 +56,7 @@ def migrate_record(record: dict) -> dict:
     for key in _HOST_KEYS:
         host.setdefault(key, None)
     record.setdefault("kernel", None)
+    record.setdefault("store", None)
     record.setdefault("scale", None)
     record.setdefault("jobs", None)
     return record
@@ -124,7 +125,8 @@ def append_record(path: Path, record: dict, keep: int = DEFAULT_KEEP,
 
 
 def build_session_record(grid_reports: list, scale: float, jobs: int,
-                         kernel: str, timestamp: str) -> dict:
+                         kernel: str, timestamp: str,
+                         store: str = None) -> dict:
     """The canonical per-session record flushed into ``BENCH_perf.json``.
 
     Shared by ``benchmarks/conftest.py`` (the real sessions) and the
@@ -136,6 +138,7 @@ def build_session_record(grid_reports: list, scale: float, jobs: int,
         "scale": scale,
         "jobs": jobs,
         "kernel": kernel,
+        "store": store,
         "host": host_facts(),
         "wall_seconds": round(sum(g.wall_seconds for g in grid_reports), 3),
         "cell_wall_seconds": round(sum(g.cell_wall_total

@@ -71,8 +71,8 @@ ALLOW_ENV = "REPRO_REGRESS_ALLOW"
 def stratum_of(record: dict) -> tuple:
     """The comparability key of one session record."""
     host = record.get("host") or {}
-    return (record.get("kernel"), host.get("cpus"), host.get("numpy"),
-            record.get("scale"), record.get("jobs"))
+    return (record.get("kernel"), record.get("store"), host.get("cpus"),
+            host.get("numpy"), record.get("scale"), record.get("jobs"))
 
 
 @dataclass
@@ -112,8 +112,10 @@ def _cells_of(record: dict):
 
 
 def _cell_identity(grid_name: str, cell: dict) -> tuple:
-    """Cells match on grid, key, and (when declared) their own kernel."""
-    return (grid_name, str(cell["key"]), cell.get("kernel"))
+    """Cells match on grid, key, and (when declared) their own kernel and
+    sector store."""
+    return (grid_name, str(cell["key"]), cell.get("kernel"),
+            cell.get("store"))
 
 
 def compare_records(fresh: dict, priors: list,
@@ -169,8 +171,9 @@ def format_regression_report(verdicts: list, fresh: dict, tolerance: float,
     lines = ["performance regression report",
              "=============================",
              f"candidate session: {fresh.get('timestamp', '?')}",
-             f"stratum: kernel={stratum[0]} cpus={stratum[1]} "
-             f"numpy={stratum[2]} scale={stratum[3]} jobs={stratum[4]}",
+             f"stratum: kernel={stratum[0]} store={stratum[1]} "
+             f"cpus={stratum[2]} numpy={stratum[3]} scale={stratum[4]} "
+             f"jobs={stratum[5]}",
              f"policy: regression when wall > median * {1 + tolerance:g} "
              f"and excess > {abs_floor:g}s, over >= {min_runs} "
              f"same-stratum prior runs",

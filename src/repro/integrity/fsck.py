@@ -121,29 +121,36 @@ def scan_cg_inodes(image: SectorStore, geo: FSGeometry,
 
 
 class _FlatImage:
-    """Contiguous read-only copy of a SectorStore's file-system span.
+    """Contiguous read-only view of a SectorStore's file-system span.
 
-    A SectorStore is a sparse dict of one ``bytes`` object per sector;
-    forking a pool over a large image makes every worker's first pass
-    copy-on-write the whole object heap just by touching refcounts.  The
-    flat copy is a single buffer: workers share it via fork (or one
-    pickle on spawn platforms) and reads are plain slices.
+    The dict-backed reference store is a sparse map of one ``bytes``
+    object per sector; forking a pool over a large image makes every
+    worker's first pass copy-on-write the whole object heap just by
+    touching refcounts.  ``store.flat_view`` hands back one contiguous
+    buffer instead: a zero-copy view of the flat store's own backing, or
+    a single materialization of the dict store.  Workers share it via
+    fork (or one pickle on spawn platforms) and reads are plain slices.
     """
 
     __slots__ = ("geometry", "_buf")
 
-    def __init__(self, store: SectorStore, total_sectors: int) -> None:
+    def __init__(self, store, total_sectors: int) -> None:
         self.geometry = store.geometry
-        size = store.geometry.sector_size
-        buf = bytearray(total_sectors * size)
-        for lbn, data in store._sectors.items():
-            if lbn < total_sectors:
-                buf[lbn * size:(lbn + 1) * size] = data
-        self._buf = bytes(buf)
+        self._buf = store.flat_view(total_sectors)
 
     def read(self, lbn: int, nsectors: int = 1) -> bytes:
         size = self.geometry.sector_size
-        return self._buf[lbn * size:(lbn + nsectors) * size]
+        # bytes() of a bytes slice is the slice itself; the flat store's
+        # memoryview/ndarray slices convert without an extra pass
+        return bytes(self._buf[lbn * size:(lbn + nsectors) * size])
+
+    # spawn-platform pools pickle the fsck context; a zero-copy view of
+    # the flat store's backing is not picklable, the materialized bytes are
+    def __getstate__(self):
+        return self.geometry, bytes(self._buf)
+
+    def __setstate__(self, state):
+        self.geometry, self._buf = state
 
 
 class _JournalView:
@@ -153,7 +160,7 @@ class _JournalView:
     replays every committed transaction, so the recoverable state -- the
     state fsck must audit -- is the raw image plus the scan overlay.  The
     view composes reads sector-by-sector (``.read``) and exposes a merged
-    ``_sectors`` dict so :class:`_FlatImage` (the parallel path) bakes the
+    ``flat_view`` so :class:`_FlatImage` (the parallel path) bakes the
     overlay in.  Images without a journal area never construct one, so
     non-journaling reports are bit-identical to before.
     """
@@ -180,11 +187,14 @@ class _JournalView:
                        else self._base.read(sector, 1))
         return b"".join(out)
 
-    @property
-    def _sectors(self) -> dict[int, bytes]:
-        merged = dict(self._base._sectors)
-        merged.update(self._sector_overlay)
-        return merged
+    def flat_view(self, nsectors: int) -> bytes:
+        """The base's flat span with the journal overlay applied."""
+        size = self.geometry.sector_size
+        buf = bytearray(self._base.flat_view(nsectors))
+        for sector, data in self._sector_overlay.items():
+            if sector < nsectors:
+                buf[sector * size:(sector + 1) * size] = data
+        return bytes(buf)
 
 
 def journal_overlay_view(image: SectorStore, geo: FSGeometry):

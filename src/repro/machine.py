@@ -86,6 +86,11 @@ class MachineConfig:
     #: kernel is simulation-identical -- the conformance suite proves it --
     #: so this knob only trades host wall clock.
     kernel: Optional[str] = None
+    #: sector-store name (``repro.disk.storage.STORES``); None defers to
+    #: ``REPRO_STORE`` and then the flat-buffer store.  Stores are
+    #: content-identical (same reads, digests, fsck verdicts, counters),
+    #: so this knob too only trades host wall clock.
+    store: Optional[str] = None
 
 
 class Machine:
@@ -108,7 +113,7 @@ class Machine:
         self.cpu = CPU(self.engine)
         self.costs = cfg.costs
         self.disk = Disk(self.engine, geometry=cfg.disk_geometry,
-                         params=cfg.disk_params)
+                         params=cfg.disk_params, store=cfg.store)
         if cfg.faults is not None:
             self.disk.faults = cfg.faults.build()
         self.policy = cfg.policy or default_policy_for(cfg.scheme)
@@ -188,7 +193,7 @@ class Machine:
         """
         if self.fs.superblock is not None:
             raise RuntimeError("adopt_image() requires an unmounted machine")
-        self.disk.storage._sectors = dict(image._sectors)
+        self.disk.storage.load_from(image)
         self.run_instantly(self.fs.mount(self.config.fs_geometry),
                            name="adopt-mount")
 

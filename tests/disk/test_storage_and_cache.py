@@ -1,15 +1,35 @@
-"""Unit tests for the sector store and on-board prefetch cache."""
+"""Unit tests for the sector stores and on-board prefetch cache.
+
+Every store test runs against each registered implementation (plus the
+flat store on its forced ``bytearray`` fallback backing): the suite IS the
+conformance contract both must satisfy identically.
+"""
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.disk import DiskGeometry, SectorStore
+from repro.disk import DiskGeometry, FlatSectorStore, SectorStore
 from repro.disk.cache import PrefetchCache
 
 
-@pytest.fixture
-def store():
-    return SectorStore(DiskGeometry())
+def make_store(variant: str, geometry=None):
+    geometry = geometry or DiskGeometry()
+    if variant == "dict":
+        return SectorStore(geometry)
+    store = FlatSectorStore(geometry)
+    if variant == "flat-fallback":
+        # force the pure-python scan path regardless of numpy presence
+        store._use_np = False
+        store.backend = "bytearray"
+    return store
+
+
+STORE_VARIANTS = ["dict", "flat", "flat-fallback"]
+
+
+@pytest.fixture(params=STORE_VARIANTS)
+def store(request):
+    return make_store(request.param)
 
 
 class TestSectorStore:
@@ -55,13 +75,65 @@ class TestSectorStore:
                               st.binary(min_size=512, max_size=512)),
                     max_size=20))
     def test_last_write_wins(self, writes):
-        store = SectorStore(DiskGeometry())
-        expected = {}
-        for lbn, data in writes:
-            store.write(lbn, data)
-            expected[lbn] = data
-        for lbn, data in expected.items():
-            assert store.read(lbn) == data
+        for variant in STORE_VARIANTS:
+            store = make_store(variant)
+            expected = {}
+            for lbn, data in writes:
+                store.write(lbn, data)
+                expected[lbn] = data
+            for lbn, data in expected.items():
+                assert store.read(lbn) == data
+
+
+class TestStoreConformance:
+    """Both stores must report identical instrumentation, not just bytes."""
+
+    def drive(self, store):
+        store.write(3, b"\x10" * 512)
+        store.write(3, b"\x11" * 512)          # overwrite: counts again
+        store.write(100, b"\x22" * (512 * 4))  # multi-sector
+        store.write_partial(200, b"\x33" * (512 * 3), 2)
+        store.write_partial(300, b"\x44" * 512, 0)  # nothing lands
+        store.write(400, bytes(512))           # explicit zeros
+        return store
+
+    def test_counters_identical_across_stores(self):
+        stores = [self.drive(make_store(v)) for v in STORE_VARIANTS]
+        written = {s.sectors_written for s in stores}
+        lengths = {len(s) for s in stores}
+        digests = {s.digest() for s in stores}
+        assert written == {1 + 1 + 4 + 2 + 1}
+        assert lengths == {1 + 4 + 2 + 1}  # distinct sectors ever written
+        assert digests and len(digests) == 1
+
+    def test_snapshot_inherits_counters(self):
+        for variant in STORE_VARIANTS:
+            store = self.drive(make_store(variant))
+            snap = store.snapshot()
+            assert snap.sectors_written == store.sectors_written
+            assert len(snap) == len(store)
+            assert snap.digest() == store.digest()
+
+    def test_load_from_preserves_counter(self):
+        source = self.drive(make_store("dict"))
+        for variant in STORE_VARIANTS:
+            store = make_store(variant)
+            store.write(7, b"\x55" * 512)
+            before = store.sectors_written
+            store.load_from(source)
+            assert store.sectors_written == before
+            assert store.digest() == source.digest()
+
+    def test_iter_nonzero_identical(self):
+        rows = [list(self.drive(make_store(v)).iter_nonzero())
+                for v in STORE_VARIANTS]
+        assert rows[0] == rows[1] == rows[2]
+        assert all(lbn != 400 for lbn, _ in rows[0])  # zeros canonicalized
+
+    def test_flat_view_identical(self):
+        views = [bytes(self.drive(make_store(v)).flat_view(512))
+                 for v in STORE_VARIANTS]
+        assert views[0] == views[1] == views[2]
 
 
 class TestPrefetchCache:

@@ -19,7 +19,7 @@ from repro.harness.regress import (
 
 
 def session(wall_by_cell, kernel="python", scale=0.1, jobs=1,
-            timestamp="t"):
+            timestamp="t", store="flat"):
     """A schema-true session record via the producer's own builder."""
     grid = GridReport(name="paper_tables", jobs=jobs)
     for key, wall in wall_by_cell.items():
@@ -27,7 +27,8 @@ def session(wall_by_cell, kernel="python", scale=0.1, jobs=1,
                                     sim_events=1000))
     grid.wall_seconds = sum(wall_by_cell.values())
     return build_session_record([grid], scale=scale, jobs=jobs,
-                                kernel=kernel, timestamp=timestamp)
+                                kernel=kernel, timestamp=timestamp,
+                                store=store)
 
 
 BASELINE = {"('copy', 'Soft Updates')": 1.0, "('remove', 'No Order')": 0.4}
@@ -46,6 +47,8 @@ class TestStratum:
         assert stratum_of(session(BASELINE, scale=0.2)) \
             != stratum_of(session(BASELINE))
         assert stratum_of(session(BASELINE, jobs=4)) \
+            != stratum_of(session(BASELINE))
+        assert stratum_of(session(BASELINE, store="dict")) \
             != stratum_of(session(BASELINE))
 
     def test_migrated_legacy_record_matches_nothing_real(self):
